@@ -1,0 +1,66 @@
+// Command tracegen emits the synthetic inputs the simulation runs on, as
+// CSV, for inspection or external analysis:
+//
+//	tracegen -kind pages -workload lg-bfs -n 10000   page-access trace
+//	tracegen -kind features                           per-workload trace features
+//	tracegen -kind cluster -trace 2018 -n 1000        cluster utilization snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/clustertrace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "pages", "pages | features | cluster")
+		wl    = flag.String("workload", "lg-bfs", "workload name for -kind pages")
+		n     = flag.Int("n", 10000, "rows to emit")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		trace = flag.String("trace", "2017", "cluster trace profile: 2017 | 2018")
+	)
+	flag.Parse()
+
+	switch *kind {
+	case "pages":
+		spec := workload.ByName(*wl)
+		s := workload.NewStream(spec, *seed)
+		fmt.Println("index,page,write")
+		for i := 0; i < *n; i++ {
+			a, ok := s.Next()
+			if !ok {
+				break
+			}
+			w := 0
+			if a.Write {
+				w = 1
+			}
+			fmt.Printf("%d,%d,%d\n", i, a.Page, w)
+		}
+	case "features":
+		fmt.Println("workload,class,footprint_pages,anon_ratio,seq_ratio,max_seq_run,fragment_ratio,hot_ratio,load_ratio")
+		for _, spec := range workload.Specs() {
+			f := baseline.Profile(spec, *seed)
+			fmt.Printf("%s,%s,%d,%.4f,%.4f,%d,%.4f,%.4f,%.4f\n",
+				spec.Name, spec.Class, spec.FootprintPages, f.AnonRatio, f.SeqRatio,
+				f.MaxSeqRunPages, f.FragmentRatio, f.HotRatio, f.LoadRatio)
+		}
+	case "cluster":
+		p := clustertrace.Alibaba2017()
+		if *trace == "2018" {
+			p = clustertrace.Alibaba2018()
+		}
+		fmt.Println("machine,mem_utilization")
+		for i, u := range clustertrace.Snapshot(p, *n, *seed) {
+			fmt.Printf("%d,%.4f\n", i, u)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown -kind %q\n", *kind)
+		os.Exit(2)
+	}
+}

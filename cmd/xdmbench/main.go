@@ -1,0 +1,59 @@
+// Command xdmbench regenerates the paper's entire evaluation — every table
+// and figure plus the ablation study — and writes the results to a file
+// (default results.txt) as well as stdout. This is the one-shot
+// reproduction entry point behind EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		out    = flag.String("o", "results.txt", "output file ('-' for stdout only)")
+		scale  = flag.Int("scale", 1, "fidelity divisor: 1 = full workload sizes")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		format = flag.String("format", "text", "output format: text | md | csv")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if *out != "-" {
+		var err error
+		f, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xdmbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	fmt.Fprintf(w, "xDM reproduction — full evaluation (scale=%d seed=%d)\n\n", *scale, *seed)
+	for _, id := range experiments.IDs() {
+		start := time.Now()
+		tables, _ := experiments.Run(id, opts)
+		for _, tb := range tables {
+			switch *format {
+			case "md":
+				tb.RenderMarkdown(w)
+			case "csv":
+				tb.RenderCSV(w)
+			default:
+				tb.Render(w)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if f != nil {
+		fmt.Fprintf(os.Stderr, "results written to %s\n", *out)
+	}
+}

@@ -1,0 +1,73 @@
+// Command xdmsim runs a single experiment from the paper's evaluation and
+// prints its table(s).
+//
+// Usage:
+//
+//	xdmsim -list
+//	xdmsim -exp tab6 [-scale 1] [-seed 1]
+//	xdmsim -exp all
+//	xdmsim -custom myspecs.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (fig1b..fig19, tab6, tab7, ablation) or 'all'")
+		custom = flag.String("custom", "", "JSON file of workload specs to run through the pipeline")
+		scale  = flag.Int("scale", 1, "fidelity divisor: 1 = full workload sizes, larger = faster")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	if *custom != "" {
+		f, err := os.Open(*custom)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xdmsim:", err)
+			os.Exit(1)
+		}
+		specs, err := workload.LoadSpecs(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xdmsim:", err)
+			os.Exit(1)
+		}
+		for _, tb := range experiments.Custom(specs, opts) {
+			tb.Render(os.Stdout)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: xdmsim -exp <id>|all | -custom specs.json [-scale N] [-seed N]; -list shows ids")
+		os.Exit(2)
+	}
+	if *exp == "all" {
+		for _, tb := range experiments.RunAll(opts) {
+			tb.Render(os.Stdout)
+		}
+		return
+	}
+	tables, ok := experiments.Run(*exp, opts)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; -list shows ids\n", *exp)
+		os.Exit(2)
+	}
+	for _, tb := range tables {
+		tb.Render(os.Stdout)
+	}
+}

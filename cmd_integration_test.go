@@ -1,0 +1,197 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one of the repository's executables into dir.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestXdmsimCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildCmd(t, t.TempDir(), "xdmsim")
+
+	out, err := exec.Command(bin, "-list").Output()
+	if err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	for _, id := range []string{"tab6", "fig19", "ablation", "cxl"} {
+		if !strings.Contains(string(out), id) {
+			t.Errorf("-list missing %s", id)
+		}
+	}
+
+	out, err = exec.Command(bin, "-exp", "fig3").Output()
+	if err != nil {
+		t.Fatalf("-exp fig3: %v", err)
+	}
+	if !strings.Contains(string(out), "PCIe 4.0") {
+		t.Error("fig3 output incomplete")
+	}
+
+	out, err = exec.Command(bin, "-exp", "fig8", "-scale", "16", "-seed", "2").Output()
+	if err != nil {
+		t.Fatalf("-exp fig8: %v", err)
+	}
+	if !strings.Contains(string(out), "MEI pick") {
+		t.Error("fig8 output incomplete")
+	}
+
+	if err := exec.Command(bin, "-exp", "bogus").Run(); err == nil {
+		t.Error("unknown experiment should exit nonzero")
+	}
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Error("missing -exp should exit nonzero")
+	}
+}
+
+func TestTracegenCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildCmd(t, t.TempDir(), "tracegen")
+
+	out, err := exec.Command(bin, "-kind", "pages", "-workload", "bert", "-n", "100").Output()
+	if err != nil {
+		t.Fatalf("pages: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if lines[0] != "index,page,write" || len(lines) != 101 {
+		t.Fatalf("pages CSV malformed: header=%q lines=%d", lines[0], len(lines))
+	}
+
+	out, err = exec.Command(bin, "-kind", "features").Output()
+	if err != nil {
+		t.Fatalf("features: %v", err)
+	}
+	if c := strings.Count(string(out), "\n"); c != 18 { // header + 17 workloads
+		t.Fatalf("features CSV has %d lines, want 18", c)
+	}
+
+	out, err = exec.Command(bin, "-kind", "cluster", "-trace", "2018", "-n", "50").Output()
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	if c := strings.Count(string(out), "\n"); c != 51 {
+		t.Fatalf("cluster CSV has %d lines, want 51", c)
+	}
+
+	if err := exec.Command(bin, "-kind", "bogus").Run(); err == nil {
+		t.Error("unknown kind should exit nonzero")
+	}
+}
+
+func TestXdmbenchCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs the evaluation")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "xdmbench")
+	outFile := filepath.Join(dir, "results.txt")
+	out, err := exec.Command(bin, "-o", outFile, "-scale", "16").CombinedOutput()
+	if err != nil {
+		t.Fatalf("xdmbench: %v\n%s", err, out)
+	}
+	data := string(out)
+	for _, id := range []string{"tab6", "tab7", "fig14", "fig19-sim"} {
+		if !strings.Contains(data, id) {
+			t.Errorf("results missing %s", id)
+		}
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the example binaries")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"quickstart", "swap performance speedup"},
+		{"graphanalytics", "MEI backend selection"},
+		{"aiinference", "offload"},
+		{"datacenter", "task throughput"},
+		{"dynamicswitch", "warm switch"},
+	}
+	for _, c := range cases {
+		out, err := exec.Command("go", "run", "./examples/"+c.dir).CombinedOutput()
+		if err != nil {
+			t.Fatalf("example %s: %v\n%s", c.dir, err, out)
+		}
+		if !strings.Contains(string(out), c.want) {
+			t.Errorf("example %s output missing %q:\n%s", c.dir, c.want, out)
+		}
+	}
+}
+
+func TestXdmsimCustomSpecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "xdmsim")
+	specFile := filepath.Join(dir, "specs.json")
+	spec := `[{"Name":"custom-app","Class":"compute","FootprintPages":1024,
+		"AnonFraction":0.9,"SegmentLen":64,"SeqShare":0.4,"RunLen":8,
+		"HotShare":0.2,"HotProb":0.7,"WriteFraction":0.3,
+		"ComputePerAccess":200,"MainAccesses":6000,"Threads":2}]`
+	if err := os.WriteFile(specFile, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-custom", specFile, "-scale", "2").Output()
+	if err != nil {
+		t.Fatalf("-custom: %v", err)
+	}
+	if !strings.Contains(string(out), "custom-app") || !strings.Contains(string(out), "speedup") {
+		t.Fatalf("custom output incomplete:\n%s", out)
+	}
+	// Invalid spec file exits nonzero.
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("nope"), 0o644)
+	if err := exec.Command(bin, "-custom", bad).Run(); err == nil {
+		t.Error("invalid spec file accepted")
+	}
+}
+
+func TestXdmbenchFormats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "xdmbench")
+	for _, format := range []string{"md", "csv"} {
+		outFile := filepath.Join(dir, "results."+format)
+		if out, err := exec.Command(bin, "-o", outFile, "-scale", "32", "-format", format).CombinedOutput(); err != nil {
+			t.Fatalf("format %s: %v\n%s", format, err, out)
+		}
+		data, err := os.ReadFile(outFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch format {
+		case "md":
+			if !strings.Contains(string(data), "| --- |") {
+				t.Error("markdown output malformed")
+			}
+		case "csv":
+			if !strings.Contains(string(data), "#tab6,") {
+				t.Error("csv output malformed")
+			}
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package baseline wires complete run configurations for the systems the
+// paper compares against (Table I/II/IV) and for xDM itself:
+//
+//	Linux swap — hierarchical path, shared swap channel, 4K granularity,
+//	            disk or SSD backend.
+//	Fastswap  — same path shape on RDMA/DRAM backends (kernel far-memory
+//	            swap, shared LRU channel).
+//	TMO       — same path shape on SSD/NVMe; its contribution is the
+//	            offloading policy, modeled in the experiments layer.
+//	XMemPod   — hierarchical hybrid: host DRAM tier overflowing to RDMA.
+//	Canvas    — host-native isolated swap: bypass path with a per-task
+//	            channel, untuned transfer parameters.
+//	xDM       — VM bypass path, per-VM isolated channel, offline page-trace
+//	            profiling, MEI backend selection, tuned granularity/width/
+//	            local-ratio/NUMA (the full console).
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/swap"
+	"repro/internal/task"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// System identifies a far-memory management system.
+type System string
+
+// The compared systems.
+const (
+	LinuxSwap System = "linux-swap"
+	Fastswap  System = "fastswap"
+	TMO       System = "tmo"
+	XMemPod   System = "xmempod"
+	Canvas    System = "canvas"
+	XDM       System = "xdm"
+)
+
+// Env is the physical context runs execute in.
+type Env struct {
+	Machine *vm.Machine
+	// FileBackend names the device serving file-backed pages (node storage).
+	FileBackend string
+}
+
+// filePath builds the page-cache I/O path: bypass (file I/O does not cross
+// the swap layer), with its own channel.
+func (e Env) filePath() *swap.Path {
+	b := e.Machine.Backend(e.FileBackend)
+	if b == nil {
+		panic(fmt.Sprintf("baseline: unknown file backend %q", e.FileBackend))
+	}
+	ch := swap.NewChannel(e.Machine.Eng, "filecache", 8)
+	return swap.NewPath(e.Machine.Eng, b, ch)
+}
+
+// Prepare builds the task configuration for running spec under sys with the
+// given swap backend and local-memory ratio. For XDM use PrepareXDM, which
+// also returns the console's decision.
+func Prepare(sys System, env Env, backend swap.Backend, spec workload.Spec, localRatio float64, seed int64) task.Config {
+	eng := env.Machine.Eng
+	cfg := task.Config{
+		Eng:        eng,
+		Name:       fmt.Sprintf("%s/%s", sys, spec.Name),
+		Spec:       spec,
+		Seed:       seed,
+		LocalRatio: localRatio,
+		FilePath:   env.filePath(),
+		// Kernel swap readahead is slot-cluster aligned, not forward.
+		AlignedReadahead: true,
+	}
+	// All traditional stacks use the kernel's fixed swap readahead window
+	// (vm.page_cluster=3 → 8 pages), regardless of access pattern — exactly
+	// the non-adaptivity xDM's granularity tuning removes.
+	const kernelReadahead = 8
+	switch sys {
+	case LinuxSwap, Fastswap, TMO:
+		// Traditional stack: hierarchical path through the host's swap
+		// layer, shared channel, fixed readahead. Exception: a host-DRAM
+		// backend is not behind a second device — the guest-to-host copy
+		// *is* the swap-out — so its path has no extra hop.
+		if backend.Kind() == device.RemoteDRAM {
+			cfg.SwapPath = swap.NewPath(eng, backend, env.Machine.SharedChannel())
+		} else {
+			cfg.SwapPath = swap.NewHierarchicalPath(eng, backend, env.Machine.SharedChannel(), env.Machine.HostStage())
+		}
+		cfg.GranularityPages = kernelReadahead
+	case XMemPod:
+		// Hierarchical hybrid path; callers pass an AggregateBackend of
+		// DRAM + RDMA to model its tiering.
+		cfg.SwapPath = swap.NewHierarchicalPath(eng, backend, env.Machine.SharedChannel(), env.Machine.HostStage())
+		cfg.GranularityPages = kernelReadahead
+	case Canvas:
+		// Isolated swap: per-application channel, host-native (bypass),
+		// untuned transfer parameters.
+		ch := swap.NewChannel(eng, "canvas-"+spec.Name, 4)
+		cfg.SwapPath = swap.NewPath(eng, backend, ch)
+		cfg.GranularityPages = kernelReadahead
+	default:
+		panic(fmt.Sprintf("baseline: Prepare called for %q", sys))
+	}
+	return cfg
+}
+
+// widthForThreads raises a tuned width to at least the application's
+// thread count (capped at 16 channels).
+func widthForThreads(w, threads int) int {
+	if threads > w {
+		w = threads
+	}
+	if w > 16 {
+		w = 16
+	}
+	return w
+}
+
+// randomWindow sizes the adaptive reader's cluster for isolated faults:
+// high-latency media amortize their operation cost over a small cluster;
+// low-latency media fetch on demand.
+func randomWindow(k device.Kind) int {
+	switch k {
+	case device.SSD, device.HDD:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// ProfileSeedOffset separates the offline profiling stream from the
+// measured run: xDM's offline preparation observes a *different* execution
+// of the same application.
+const ProfileSeedOffset = 10007
+
+// Profile performs xDM's offline preparation: replay one execution of spec
+// into a page trace table and fuse its features. The allocation sweep is
+// skipped — first-touch faults are zero-fill and never reach the swap path,
+// so including them would bias every decision toward sequential streaming.
+func Profile(spec workload.Spec, seed int64) trace.Features {
+	tbl := trace.NewTable(spec.FootprintPages)
+	s := workload.NewStream(spec, seed+ProfileSeedOffset)
+	for skip := s.MappedPages(); skip > 0; skip-- {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	for {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		tbl.Record(a.Page, a.Write)
+	}
+	anon := int(spec.AnonFraction * float64(spec.FootprintPages))
+	return tbl.Features(anon)
+}
+
+// OptionFor derives a console BackendOption from a live swap backend.
+func OptionFor(b swap.Backend) core.BackendOption {
+	switch be := b.(type) {
+	case *swap.DeviceBackend:
+		opt := core.OptionFromSpec(be.Device().Spec())
+		return opt
+	case *swap.AggregateBackend:
+		members := be.Members()
+		fastest := members[0].Device().Spec()
+		for _, m := range members[1:] {
+			if s := m.Device().Spec(); s.ReadLatency < fastest.ReadLatency {
+				fastest = s
+			}
+		}
+		opt := core.OptionFromSpec(fastest)
+		opt.Name = be.Name()
+		opt.Kind = be.Kind()
+		opt.Bandwidth = be.Bandwidth()
+		opt.CostPerGB = be.CostPerGB()
+		opt.MaxWidth = 16 * len(members)
+		return opt
+	default:
+		// Generic backend (e.g. inter-node remote memory): build the option
+		// from the interface, with kind-derived defaults for what the
+		// interface cannot express.
+		opt := core.BackendOption{
+			Name:             b.Name(),
+			Kind:             b.Kind(),
+			Bandwidth:        b.Bandwidth(),
+			ChannelBandwidth: b.Bandwidth() / 2,
+			OpLatency:        3 * sim.Microsecond,
+			CostPerGB:        b.CostPerGB(),
+			MaxWidth:         16,
+			Available:        true,
+		}
+		if lr, ok := b.(interface{ OpLatency() sim.Duration }); ok {
+			opt.OpLatency = lr.OpLatency()
+		}
+		return opt
+	}
+}
+
+// XDMSetup is a fully-prepared xDM run.
+type XDMSetup struct {
+	Config   task.Config
+	Decision core.Decision
+	Features trace.Features
+}
+
+// PrepareXDM builds an xDM run on a *fixed* backend (as Table VI does,
+// comparing systems on the same device): offline profiling, transfer tuning
+// for that backend, a bypass path with an isolated channel, and online
+// epoch-based retuning. localRatio < 0 asks the console to size local
+// memory for the given SLO instead.
+func PrepareXDM(env Env, backend swap.Backend, spec workload.Spec, localRatio float64, slo float64, seed int64) XDMSetup {
+	eng := env.Machine.Eng
+	f := Profile(spec, seed)
+	opt := OptionFor(backend)
+
+	if localRatio < 0 {
+		// Offline-prepared sizing: use the calibrated staging measurement
+		// when a concrete device backs the path, the analytic model
+		// otherwise.
+		if db, ok := backend.(*swap.DeviceBackend); ok {
+			localRatio = CalibratedLocalRatio(db.Device().Spec(), spec, slo, seed)
+		} else if agg, ok := backend.(*swap.AggregateBackend); ok {
+			localRatio = CalibratedLocalRatio(agg.Members()[0].Device().Spec(), spec, slo, seed)
+		} else {
+			localRatio = core.MinLocalRatio(opt, f, spec.ComputePerAccess, slo)
+		}
+	}
+	budget := int(localRatio * float64(spec.FootprintPages))
+	g, w := core.TuneTransferBudget(opt, f, budget)
+	// The width knob must cover the application's parallelism: concurrent
+	// faulting threads each need a channel (the paper's multi-threaded I/O
+	// channel allocation).
+	w = widthForThreads(w, spec.Threads)
+	backend.SetWidth(w)
+
+	depth := 4
+	if spec.Threads > depth {
+		depth = spec.Threads
+	}
+	ch := swap.NewChannel(eng, "xdm-"+spec.Name, depth)
+	cfg := task.Config{
+		Eng:               eng,
+		Name:              fmt.Sprintf("xdm/%s", spec.Name),
+		Spec:              spec,
+		Seed:              seed,
+		LocalRatio:        localRatio,
+		SwapPath:          swap.NewPath(eng, backend, ch),
+		FilePath:          env.filePath(),
+		GranularityPages:  g,
+		AdaptiveWindow:    true,
+		RandomWindowPages: randomWindow(backend.Kind()),
+		NUMAPolicy:        core.ChooseNUMA(f, spec.ComputePerAccess),
+		Trace:             trace.NewTable(spec.FootprintPages),
+	}
+
+	// Online retuning: every epoch, fuse the *window's* trace (the table is
+	// reset each epoch so stale phases don't linger) and adjust the
+	// granularity and width. The first epoch is the allocation sweep —
+	// fully sequential and unrepresentative — so it only clears the window.
+	cfg.EpochAccesses = spec.FootprintPages
+	epoch := 0
+	cfg.OnEpoch = func(t *task.Task) {
+		epoch++
+		if epoch > 1 {
+			live := cfg.Trace.Features(int(spec.AnonFraction * float64(spec.FootprintPages)))
+			ng, nw := core.TuneTransferBudget(opt, live, t.Cgroup().LimitPages)
+			t.SetGranularity(ng)
+			backend.SetWidth(widthForThreads(nw, spec.Threads))
+		}
+		cfg.Trace.Reset()
+	}
+
+	d := core.Decision{
+		Backend:          opt.Name,
+		GranularityPages: g,
+		Width:            w,
+		LocalRatio:       localRatio,
+		NUMA:             cfg.NUMAPolicy,
+		UseTHP:           g >= 64,
+	}
+	return XDMSetup{Config: cfg, Decision: d, Features: f}
+}
+
+// SystemsForBackend reports which baseline system the paper runs on each
+// backend kind in Table VI (Linux swap on SSD, Fastswap on RDMA and DRAM).
+func SystemsForBackend(kindName string) System {
+	switch kindName {
+	case "ssd", "hdd":
+		return LinuxSwap
+	default:
+		return Fastswap
+	}
+}

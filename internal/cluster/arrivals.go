@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// ArrivalSimConfig drives Algorithm 1 with a stream of application
+// arrivals, the way a production front-end would: apps arrive with
+// exponential interarrival times, are dispatched onto the VM fleet (warm
+// start, backend switch, or VM create), run to completion, and release
+// their VM.
+type ArrivalSimConfig struct {
+	// Templates is the pool of application shapes; arrivals cycle through
+	// it pseudo-randomly.
+	Templates []App
+	// Arrivals is the number of applications submitted.
+	Arrivals int
+	// MeanInterarrival is the exponential arrival spacing.
+	MeanInterarrival sim.Duration
+	Seed             int64
+}
+
+// ArrivalSimResult summarizes the run.
+type ArrivalSimResult struct {
+	Placed    map[PlacementKind]int
+	Rejected  int
+	Completed int
+	// Switches counts backend switches performed across the fleet.
+	Switches uint64
+	// MeanPlacementDelay is submission → VM-ready.
+	MeanPlacementDelay sim.Duration
+	// Makespan is submission of the first app → last completion.
+	Makespan sim.Duration
+	// FleetSize is the number of VMs alive at the end.
+	FleetSize int
+}
+
+// RunArrivalSim executes the arrival stream against env's machine. The
+// machine should have its backends attached; pre-booting warm VMs is the
+// caller's choice (see AblationWarmStart for the effect).
+func RunArrivalSim(env baseline.Env, cfg ArrivalSimConfig) ArrivalSimResult {
+	eng := env.Machine.Eng
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := NewDispatcher(env)
+
+	res := ArrivalSimResult{}
+	var delaySum sim.Duration
+	var delayed int
+
+	var submit func(i int)
+	submit = func(i int) {
+		if i >= cfg.Arrivals {
+			return
+		}
+		app := cfg.Templates[rng.Intn(len(cfg.Templates))]
+		app.Seed = cfg.Seed + int64(i)
+		submitted := eng.Now()
+
+		d.Dispatch(app, func(pl Placement) {
+			delaySum += eng.Now().Sub(submitted)
+			delayed++
+			// Run the app on its VM's active backend with the console's
+			// decided parameters.
+			be := env.Machine.Backend(pl.VM.ActiveBackend())
+			setup := baseline.PrepareXDM(env, be, app.Spec, pl.Decision.LocalRatio, app.SLO, app.Seed)
+			setupCfg := setup.Config
+			setupCfg.SwapPath = pl.VM.Path()
+			task.New(setupCfg).Start(func(task.Stats) {
+				res.Completed++
+				d.Release(pl)
+			})
+		})
+		// Schedule the next arrival.
+		gap := sim.Duration(rng.ExpFloat64() * float64(cfg.MeanInterarrival))
+		if gap < 1 {
+			gap = 1
+		}
+		eng.After(gap, func() { submit(i + 1) })
+	}
+	eng.Immediately(func() { submit(0) })
+	eng.Run()
+
+	res.Placed = d.Placed
+	res.Rejected = d.Rejected
+	if delayed > 0 {
+		res.MeanPlacementDelay = delaySum / sim.Duration(delayed)
+	}
+	res.Makespan = sim.Duration(eng.Now())
+	res.FleetSize = len(env.Machine.VMs())
+	for _, v := range env.Machine.VMs() {
+		res.Switches += v.Switches
+	}
+	return res
+}
+
+// WarmFleet pre-boots one VM per registered backend with the given
+// resources, returning once they are all Free.
+func WarmFleet(env baseline.Env, cores, pages int) {
+	for _, name := range env.Machine.BackendNames() {
+		env.Machine.CreateVM("warm-"+name, cores, pages, []string{name}, nil)
+	}
+	env.Machine.Eng.Run()
+}

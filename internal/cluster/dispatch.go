@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// App is one application to place (Algorithm 1's input).
+type App struct {
+	Spec  workload.Spec
+	SLO   float64
+	Seed  int64
+	Cores int
+}
+
+// Placement describes where an app landed and with what configuration.
+type Placement struct {
+	VM       *vm.VM
+	Decision core.Decision
+	// How the VM was obtained, for overhead accounting.
+	Via PlacementKind
+}
+
+// PlacementKind classifies Algorithm 1's outcome branches.
+type PlacementKind int
+
+// Placement branches, in Algorithm 1's preference order.
+const (
+	ViaOnlineVM PlacementKind = iota // online VM already on the right backend
+	ViaFreeVM                        // idle VM already on the right backend (warm start)
+	ViaSwitch                        // idle VM switched to the right backend
+	ViaCreate                        // newly created VM
+	ViaNone                          // no capacity
+)
+
+func (k PlacementKind) String() string {
+	switch k {
+	case ViaOnlineVM:
+		return "online-vm"
+	case ViaFreeVM:
+		return "free-vm"
+	case ViaSwitch:
+		return "switched-vm"
+	case ViaCreate:
+		return "created-vm"
+	default:
+		return "unplaced"
+	}
+}
+
+// Dispatcher implements Algorithm 1: page feature extraction, backend
+// selection, parameter optimization, then VM placement with warm-start
+// preference.
+type Dispatcher struct {
+	Env  baseline.Env
+	opts []core.BackendOption
+
+	// Stats per branch.
+	Placed   map[PlacementKind]int
+	Rejected int
+}
+
+// NewDispatcher builds a dispatcher over the machine's registered backends.
+func NewDispatcher(env baseline.Env) *Dispatcher {
+	d := &Dispatcher{Env: env, Placed: make(map[PlacementKind]int)}
+	for _, name := range env.Machine.BackendNames() {
+		d.opts = append(d.opts, baseline.OptionFor(env.Machine.Backend(name)))
+	}
+	return d
+}
+
+// systemPressure marks options unavailable when their device is saturated
+// (queue deeper than 4x its width), Algorithm 1's system_pressure input.
+func (d *Dispatcher) systemPressure() []core.BackendOption {
+	opts := make([]core.BackendOption, len(d.opts))
+	copy(opts, d.opts)
+	for i := range opts {
+		dev := d.Env.Machine.Device(opts[i].Name)
+		if dev != nil && dev.QueueDepth() > 4*dev.Channels() {
+			opts[i].Available = false
+		}
+	}
+	return opts
+}
+
+// vmPages is the default VM memory size in pages (footprint-scaled).
+const vmPages = 8 * workload.PagesPerGiB
+
+// vmCores is the default VM vCPU count.
+const vmCores = 2
+
+// Dispatch places app per Algorithm 1 and calls ready once the hosting VM
+// is available (immediately for warm placements; after the switch or boot
+// otherwise). It returns the placement synchronously.
+func (d *Dispatcher) Dispatch(app App, ready func(Placement)) Placement {
+	// Lines 2-4: feature extraction, backend selection, parameter
+	// optimization.
+	f := baseline.Profile(app.Spec, app.Seed)
+	priority, mei := core.SelectBackend(d.systemPressure(), f, app.Spec.ComputePerAccess, 0.5)
+	if len(priority) == 0 {
+		d.Rejected++
+		return Placement{Via: ViaNone}
+	}
+	backend := priority[0]
+	var opt core.BackendOption
+	for _, o := range d.opts {
+		if o.Name == backend {
+			opt = o
+			break
+		}
+	}
+	localRatio := core.MinLocalRatio(opt, f, app.Spec.ComputePerAccess, app.SLO)
+	g, w := core.TuneTransferBudget(opt, f, int(localRatio*float64(app.Spec.FootprintPages)))
+	decision := core.Decision{
+		Backend: backend, Priority: priority, MEI: mei,
+		GranularityPages: g, Width: w, LocalRatio: localRatio,
+		NUMA: core.ChooseNUMA(f, app.Spec.ComputePerAccess), UseTHP: g >= 64,
+	}
+
+	finish := func(v *vm.VM, via PlacementKind) Placement {
+		v.BeginTask()
+		d.Placed[via]++
+		return Placement{VM: v, Decision: decision, Via: via}
+	}
+
+	// Lines 5-9: prefer an online VM already on the chosen backend.
+	for _, v := range d.Env.Machine.VMs() {
+		if v.State() == vm.Online && v.ActiveBackend() == backend && v.Accept(app.Cores, app.Spec.FootprintPages) {
+			p := finish(v, ViaOnlineVM)
+			if ready != nil {
+				d.Env.Machine.Eng.Immediately(func() { ready(p) })
+			}
+			return p
+		}
+	}
+	// Lines 11-15: a free VM already on the backend (warm start).
+	for _, v := range d.Env.Machine.VMs() {
+		if v.State() == vm.Free && v.ActiveBackend() == backend && v.Accept(app.Cores, app.Spec.FootprintPages) {
+			p := finish(v, ViaFreeVM)
+			if ready != nil {
+				d.Env.Machine.Eng.Immediately(func() { ready(p) })
+			}
+			return p
+		}
+	}
+	// Lines 16-20: switch an idle VM to the preferred backend.
+	for _, v := range d.Env.Machine.VMs() {
+		if v.State() == vm.Free && v.Accept(app.Cores, app.Spec.FootprintPages) {
+			p := finish(v, ViaSwitch)
+			v.SwitchBackend(backend, func() {
+				if ready != nil {
+					ready(p)
+				}
+			})
+			return p
+		}
+	}
+	// Lines 21-25: create a VM if the host has resources.
+	cores, pages := vmCores, vmPages
+	if cores < app.Cores {
+		cores = app.Cores
+	}
+	if pages < app.Spec.FootprintPages {
+		pages = app.Spec.FootprintPages
+	}
+	if v := d.Env.Machine.CreateVM("vm-auto", cores, pages, []string{backend}, nil); v != nil {
+		p := finish(v, ViaCreate)
+		// Boot completion flips the VM to Free; ready fires then.
+		d.Env.Machine.Eng.After(vm.VMBootCost+sim.Second, func() {
+			if ready != nil {
+				ready(p)
+			}
+		})
+		return p
+	}
+	d.Rejected++
+	return Placement{Via: ViaNone}
+}
+
+// Release marks a task completed on its VM.
+func (d *Dispatcher) Release(p Placement) {
+	if p.VM != nil {
+		p.VM.EndTask()
+	}
+}

@@ -1,0 +1,93 @@
+// Package cluster implements the data-center layer: the Algorithm 1
+// application dispatcher over VM fleets, the SLO-constrained admission
+// runner behind the task-throughput study (Fig 16), and the memory balance
+// effectiveness (MBE) metric of the scalability study (Fig 19).
+package cluster
+
+// MBE computes the paper's memory balance effectiveness for a cluster
+// utilization snapshot and thresholds alpha <= beta:
+//
+//	MBE = C% × (c̄ − β) − A% × (ā − α)
+//
+// where A% of servers have low utilization (< alpha, average ā), C% have
+// high utilization (> beta, average c̄), and the middle B% do not adapt.
+// The first term is the pressure multi-backend far memory can drain from
+// hot servers; the second (ā−α is negative) is the spare capacity cold
+// servers can absorb. Higher is better.
+func MBE(utils []float64, alpha, beta float64) float64 {
+	if beta < alpha {
+		alpha, beta = beta, alpha
+	}
+	n := float64(len(utils))
+	if n == 0 {
+		return 0
+	}
+	var aCount, cCount float64
+	var aSum, cSum float64
+	for _, u := range utils {
+		switch {
+		case u < alpha:
+			aCount++
+			aSum += u
+		case u > beta:
+			cCount++
+			cSum += u
+		}
+	}
+	mbe := 0.0
+	if cCount > 0 {
+		mbe += (cCount / n) * (cSum/cCount - beta)
+	}
+	if aCount > 0 {
+		mbe -= (aCount / n) * (aSum/aCount - alpha)
+	}
+	return mbe
+}
+
+// Balance simulates multi-backend far-memory balancing: hot servers (> beta)
+// offload their excess onto cold servers' (< alpha) headroom, bounded by the
+// total spare capacity. It returns the post-balancing utilizations and the
+// share of total pressure actually moved.
+func Balance(utils []float64, alpha, beta float64) (balanced []float64, moved float64) {
+	if beta < alpha {
+		alpha, beta = beta, alpha
+	}
+	balanced = make([]float64, len(utils))
+	copy(balanced, utils)
+
+	var spare, excess float64
+	for _, u := range utils {
+		if u < alpha {
+			spare += alpha - u
+		} else if u > beta {
+			excess += u - beta
+		}
+	}
+	if excess == 0 || spare == 0 {
+		return balanced, 0
+	}
+	move := excess
+	if move > spare {
+		move = spare
+	}
+	// Drain hot servers proportionally to their excess; fill cold ones
+	// proportionally to their headroom.
+	for i, u := range balanced {
+		if u > beta {
+			balanced[i] = u - (u-beta)/excess*move
+		} else if u < alpha {
+			balanced[i] = u + (alpha-u)/spare*move
+		}
+	}
+	return balanced, move / excess
+}
+
+// MBEImprovement reports the improvement the balancing realizes at the
+// given thresholds: the drained pressure per server, as a percentage of
+// full utilization — the quantity plotted in Fig 19's contours.
+func MBEImprovement(utils []float64, alpha, beta float64) float64 {
+	before := MBE(utils, alpha, beta)
+	balanced, _ := Balance(utils, alpha, beta)
+	after := MBE(balanced, alpha, beta)
+	return before - after
+}

@@ -1,0 +1,124 @@
+package clustertrace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfileMeans(t *testing.T) {
+	if m := Alibaba2017().Mean(); math.Abs(m-0.4895) > 0.005 {
+		t.Fatalf("2017 profile mean %.4f, want 0.4895", m)
+	}
+	if m := Alibaba2018().Mean(); math.Abs(m-0.8705) > 0.005 {
+		t.Fatalf("2018 profile mean %.4f, want 0.8705", m)
+	}
+}
+
+func TestSnapshotRecentered(t *testing.T) {
+	for _, p := range []Profile{Alibaba2017(), Alibaba2018()} {
+		us := Snapshot(p, 3000, 11)
+		if len(us) != 3000 {
+			t.Fatalf("%s: wrong length", p.Name)
+		}
+		if m := Mean(us); math.Abs(m-p.Mean()) > 0.02 {
+			t.Fatalf("%s: snapshot mean %.4f vs profile %.4f", p.Name, m, p.Mean())
+		}
+		for _, u := range us {
+			if u < 0.02 || u > 0.995 {
+				t.Fatalf("%s: utilization %v out of clamp range", p.Name, u)
+			}
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	a := Snapshot(Alibaba2018(), 500, 42)
+	b := Snapshot(Alibaba2018(), 500, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("snapshots with same seed differ")
+		}
+	}
+	c := Snapshot(Alibaba2018(), 500, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical snapshots")
+	}
+}
+
+func Test2018IsBimodalHot(t *testing.T) {
+	us := Snapshot(Alibaba2018(), 5000, 7)
+	hot, cold := 0, 0
+	for _, u := range us {
+		if u > 0.9 {
+			hot++
+		}
+		if u < 0.4 {
+			cold++
+		}
+	}
+	if hot < 3000 {
+		t.Fatalf("2018 trace should have a saturated majority, got %d/5000 > 0.9", hot)
+	}
+	if cold < 300 {
+		t.Fatalf("2018 trace should keep a cold minority, got %d/5000 < 0.4", cold)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series(Alibaba2017(), 288, 5)
+	if len(s) != 288 {
+		t.Fatal("series length")
+	}
+	for _, u := range s {
+		if u < 0.02 || u > 0.995 {
+			t.Fatalf("series value %v out of range", u)
+		}
+	}
+	// Diurnal cycle: the series must actually vary.
+	lo, hi := s[0], s[0]
+	for _, u := range s {
+		lo, hi = math.Min(lo, u), math.Max(hi, u)
+	}
+	if hi-lo < 0.05 {
+		t.Fatal("series shows no diurnal variation")
+	}
+}
+
+func TestMeanHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if m := Mean([]float64{0.2, 0.4}); math.Abs(m-0.3) > 1e-12 {
+		t.Fatalf("mean = %v, want 0.3", m)
+	}
+}
+
+// Property: snapshots of any profile stay in range and match the profile
+// mean for any seed and size.
+func TestSnapshotProperty(t *testing.T) {
+	f := func(seed int64, nSeed uint8) bool {
+		n := int(nSeed)*10 + 100
+		us := Snapshot(Alibaba2017(), n, seed)
+		if len(us) != n {
+			return false
+		}
+		for _, u := range us {
+			if u < 0.02 || u > 0.995 {
+				return false
+			}
+		}
+		return math.Abs(Mean(us)-0.4895) < 0.06
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(91))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,369 @@
+// Package core implements xDM's intelligence: the implicit far-memory
+// switching strategy (MEI-ordered backend selection, Sec IV-A2) and the
+// smart configuration console (characteristic fusion → multi-dimensional
+// parameter adjustment, Sec IV-B).
+//
+// The inputs are page-trace features (package trace) and a catalog of
+// available backend options; the outputs are a Decision: which backend to
+// swap to, at what data granularity, with what I/O width, local-memory
+// ratio, and NUMA policy. The mechanisms that *apply* decisions live in
+// internal/vm (switchable swapper) and internal/cluster (Algorithm 1).
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// BackendOption describes one candidate far-memory backend to the decision
+// logic. Build one per attachable device with OptionFromSpec.
+type BackendOption struct {
+	Name             string
+	Kind             device.Kind
+	Bandwidth        units.BytesPerSec
+	ChannelBandwidth units.BytesPerSec
+	OpLatency        sim.Duration
+	RandomPenalty    sim.Duration
+	CostPerGB        float64
+	MaxWidth         int
+	Available        bool
+}
+
+// OptionFromSpec derives a BackendOption from a device spec.
+func OptionFromSpec(s device.Spec) BackendOption {
+	return BackendOption{
+		Name:             s.Name,
+		Kind:             s.Kind,
+		Bandwidth:        s.Bandwidth,
+		ChannelBandwidth: s.ChannelBandwidth,
+		OpLatency:        s.ReadLatency,
+		RandomPenalty:    s.RandomPenalty,
+		CostPerGB:        s.CostPerGB,
+		MaxWidth:         16,
+		Available:        true,
+	}
+}
+
+// Decision is the console's full output for one application.
+type Decision struct {
+	// Backend is the selected option's name; Priority is the full
+	// MEI-ordered preference list (highest first).
+	Backend  string
+	Priority []string
+	// MEI records each option's memory effectiveness improvement score.
+	MEI map[string]float64
+
+	// GranularityPages is the tuned swap transfer unit (1..512 pages,
+	// i.e. 4 KiB .. 2 MiB average page size via THP).
+	GranularityPages int
+	// Width is the tuned I/O width (channels / event queues).
+	Width int
+	// LocalRatio is the minimum local-memory share predicted to keep the
+	// slowdown within the SLO.
+	LocalRatio float64
+	// NUMA is the local placement policy.
+	NUMA mem.NUMAPolicy
+	// UseTHP reports whether transparent huge pages are enabled
+	// (granularity >= 512 pages of aggregation benefit).
+	UseTHP bool
+}
+
+// Granularity candidates: power-of-two page counts from 4 KiB to 2 MiB.
+var granularityCandidates = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// Width candidates for the I/O width knob.
+var widthCandidates = []int{1, 2, 4, 8, 16}
+
+// perChannelOverhead mirrors the swap layer's channel management cost.
+func perChannelOverhead(k device.Kind) sim.Duration {
+	switch k {
+	case device.SSD, device.HDD:
+		return 2500 * sim.Nanosecond
+	case device.RDMA, device.DPU:
+		return 180 * sim.Nanosecond
+	default:
+		return 60 * sim.Nanosecond
+	}
+}
+
+// usefulPages predicts how many of a g-page extent the task will consume
+// before eviction: 1 demanded page plus prefetched pages useful in
+// proportion to the sequential share, discounted by fragmentation (an
+// extent spanning a segment boundary prefetches unmapped/cold data).
+func usefulPages(f trace.Features, g int) float64 {
+	if g <= 1 {
+		return 1
+	}
+	segLen := math.MaxFloat64
+	if f.FragmentRatio > 0 {
+		segLen = 1 / f.FragmentRatio
+	}
+	contiguity := 1.0
+	if segLen < math.MaxFloat64 {
+		contiguity = segLen / (segLen + float64(g)/2)
+	}
+	u := f.SeqRatio * contiguity
+	return 1 + float64(g-1)*u
+}
+
+// refaultRisk is the modeled probability that a page displaced by a wasted
+// prefetch is demanded again and must be re-fetched. It internalizes the
+// I/O-amplification externality into the granularity choice.
+const refaultRisk = 0.35
+
+// PredictPageCost estimates the amortized swap-in cost per *useful* page on
+// opt with granularity g and width w, including the displacement cost of
+// wasted prefetches. This is the console's cost model; the experiments
+// validate it against simulated outcomes.
+func PredictPageCost(opt BackendOption, f trace.Features, g, w int) sim.Duration {
+	if g < 1 {
+		g = 1
+	}
+	if w < 1 {
+		w = 1
+	}
+	bw := float64(opt.Bandwidth)
+	if opt.ChannelBandwidth > 0 {
+		cbw := float64(opt.ChannelBandwidth) * float64(w)
+		if cbw < bw {
+			bw = cbw
+		}
+	}
+	transfer := sim.DurationOf(float64(int64(g)*units.PageSize) / bw)
+	op := opt.OpLatency + sim.Duration(w-1)*perChannelOverhead(opt.Kind)
+	// Random-access penalty applies to the share of ops that do not continue
+	// a sequential run.
+	op += sim.Duration(float64(opt.RandomPenalty) * (1 - f.SeqRatio))
+	useful := usefulPages(f, g)
+
+	// Each wasted prefetched page displaces a resident page that may refault
+	// at single-page demand cost.
+	wasted := float64(g) - useful
+	singleBW := float64(opt.Bandwidth)
+	if opt.ChannelBandwidth > 0 && float64(opt.ChannelBandwidth) < singleBW {
+		singleBW = float64(opt.ChannelBandwidth)
+	}
+	demand4K := float64(opt.OpLatency) + float64(sim.DurationOf(float64(units.PageSize)/singleBW))
+	amplification := wasted * refaultRisk * demand4K
+
+	return sim.Duration((float64(op+transfer) + amplification) / useful)
+}
+
+// TuneTransfer picks the (granularity, width) pair minimizing predicted
+// amortized cost for opt under features f, with no local-memory budget
+// constraint. Prefer TuneTransferBudget when the budget is known.
+func TuneTransfer(opt BackendOption, f trace.Features) (g, w int) {
+	return TuneTransferBudget(opt, f, math.MaxInt32)
+}
+
+// TuneTransferBudget is TuneTransfer constrained by the task's local-memory
+// budget in pages: an extent must stay a small fraction of local memory or
+// every prefetch evicts data about to be used (thrashing). The cap is
+// budget/16, so at most ~6% of local memory turns over per fault.
+func TuneTransferBudget(opt BackendOption, f trace.Features, budgetPages int) (g, w int) {
+	maxG := budgetPages / 16
+	if maxG < 1 {
+		maxG = 1
+	}
+	best := sim.Duration(math.MaxInt64)
+	g, w = 1, 1
+	maxW := opt.MaxWidth
+	if maxW < 1 {
+		maxW = 1
+	}
+	for _, gc := range granularityCandidates {
+		if gc > maxG {
+			break
+		}
+		for _, wc := range widthCandidates {
+			if wc > maxW {
+				continue
+			}
+			c := PredictPageCost(opt, f, gc, wc)
+			if c < best {
+				best, g, w = c, gc, wc
+			}
+		}
+	}
+	return g, w
+}
+
+// NormalizedCost maps $/GB-class hardware cost onto the MEI denominator.
+// Provisioned far-memory cost grows far slower than raw $/GB (RDMA far
+// memory borrows idle DRAM already paid for), so a log scale anchored at
+// SSD cost = 1 is used; the floor keeps disk-class media from being scored
+// as nearly free (their operational cost is not).
+func NormalizedCost(costPerGB float64) float64 {
+	const ssdCost = 0.10
+	c := 1 + math.Log10(costPerGB/ssdCost)
+	if c < 0.8 {
+		c = 0.8
+	}
+	return c
+}
+
+// fileServiceCost is the per-miss cost of file refaults, which always go to
+// node-local storage regardless of the swap backend. Random file misses pay
+// the device operation, readahead amplification, and queueing behind
+// concurrent threads, which is why this is several times a bare SSD
+// operation.
+const fileServiceCost = 250 * sim.Microsecond
+
+// PredictRuntimeShare estimates the relative per-access time of running f
+// with far ratio farRatio on backend opt (tuned), combining compute, the
+// anonymous swap share, and the backend-independent file share. Used to
+// compare backends, so constant factors cancel.
+// localAccessCost is the DRAM latency added per resident access.
+const localAccessCost = 80 * sim.Nanosecond
+
+func PredictRuntimeShare(opt BackendOption, f trace.Features, computePerAccess sim.Duration, farRatio float64) float64 {
+	g, w := TuneTransfer(opt, f)
+	pageCost := PredictPageCost(opt, f, g, w)
+	// Miss probability per access: the share of accesses falling outside
+	// what local memory holds (hotHitShare already accounts for the local
+	// size). Sequential sweeps are harder on the LRU than random traffic —
+	// a cyclic sweep refaults everything beyond local memory — so the
+	// sequential share carries a thrash boost.
+	coldShare := 1 - hotHitShare(f, 1-farRatio)
+	missRate := coldShare * (1 + 0.5*f.SeqRatio)
+	if missRate > 1 {
+		missRate = 1
+	}
+	// Split misses by where the traffic actually lands (measured), not by
+	// the page-type ratio: a serving phase can be 100% anonymous over a
+	// half-file address space.
+	fileShare := f.FileTrafficRatio
+	anonMiss := missRate * (1 - fileShare)
+	fileMiss := missRate * fileShare
+	return float64(computePerAccess) + float64(localAccessCost) +
+		anonMiss*float64(pageCost) +
+		fileMiss*float64(fileServiceCost)
+}
+
+// hotHitShare estimates the share of accesses served by a local share of
+// localRatio given the measured hot ratio: if local memory covers the hot
+// set, 80% of accesses (the hot coverage) hit it; extra local memory
+// absorbs the uniform remainder proportionally.
+func hotHitShare(f trace.Features, localRatio float64) float64 {
+	if f.HotRatio <= 0 {
+		return localRatio
+	}
+	if localRatio >= 1 {
+		return 1
+	}
+	if localRatio <= f.HotRatio {
+		return 0.8 * localRatio / f.HotRatio
+	}
+	coldSpan := 1 - f.HotRatio
+	if coldSpan <= 0 {
+		return 1
+	}
+	return 0.8 + 0.2*(localRatio-f.HotRatio)/coldSpan
+}
+
+// SelectBackend computes MEI for every available option and returns the
+// MEI-ordered priority list. MEI(b) = (runtime improvement over the slowest
+// available option) / normalized device cost — the paper's "memory
+// effectiveness improvement" metric.
+func SelectBackend(opts []BackendOption, f trace.Features, computePerAccess sim.Duration, farRatio float64) (priority []string, mei map[string]float64) {
+	mei = make(map[string]float64)
+	worst := 0.0
+	shares := make(map[string]float64)
+	for _, o := range opts {
+		if !o.Available {
+			continue
+		}
+		s := PredictRuntimeShare(o, f, computePerAccess, farRatio)
+		shares[o.Name] = s
+		if s > worst {
+			worst = s
+		}
+	}
+	for name, s := range shares {
+		var opt BackendOption
+		for _, o := range opts {
+			if o.Name == name {
+				opt = o
+				break
+			}
+		}
+		improvement := worst / s
+		mei[name] = improvement / NormalizedCost(opt.CostPerGB)
+	}
+	priority = make([]string, 0, len(mei))
+	for name := range mei {
+		priority = append(priority, name)
+	}
+	sort.Slice(priority, func(i, j int) bool {
+		if mei[priority[i]] != mei[priority[j]] {
+			return mei[priority[i]] > mei[priority[j]]
+		}
+		return priority[i] < priority[j]
+	})
+	return priority, mei
+}
+
+// sloMargin discounts the SLO budget the console plans against: the
+// analytic model omits queueing, reclaim CPU, and co-location contention,
+// so only this fraction of the slack is spent at planning time.
+const sloMargin = 0.6
+
+// MinLocalRatio estimates the smallest local-memory share keeping predicted
+// runtime within slo × the no-swap runtime (slo >= 1). It returns a value
+// in [0.1, 1]. Only sloMargin of the SLO slack is planned away, leaving
+// headroom for effects outside the model.
+func MinLocalRatio(opt BackendOption, f trace.Features, computePerAccess sim.Duration, slo float64) float64 {
+	if slo < 1 {
+		slo = 1
+	}
+	budget := 1 + (slo-1)*sloMargin
+	base := PredictRuntimeShare(opt, f, computePerAccess, 0)
+	for local := 0.1; local < 1.0; local += 0.05 {
+		r := PredictRuntimeShare(opt, f, computePerAccess, 1-local)
+		if r <= base*budget {
+			return local
+		}
+	}
+	return 1
+}
+
+// ChooseNUMA picks the placement policy: memory-latency-sensitive tasks
+// (low compute per access, high sequential locality) are bound to the local
+// socket; insensitive tasks can spread for load balance (Fig 12).
+func ChooseNUMA(f trace.Features, computePerAccess sim.Duration) mem.NUMAPolicy {
+	if computePerAccess >= 200*sim.Nanosecond {
+		// Compute-bound: a remote hop is noise; allow balancing.
+		return mem.Interleave
+	}
+	return mem.BindLocal
+}
+
+// Decide runs the full console pipeline: backend selection, transfer
+// tuning on the winner, local-ratio sizing against the SLO, and NUMA
+// policy.
+func Decide(opts []BackendOption, f trace.Features, computePerAccess sim.Duration, slo float64) Decision {
+	priority, mei := SelectBackend(opts, f, computePerAccess, 0.5)
+	d := Decision{Priority: priority, MEI: mei, NUMA: ChooseNUMA(f, computePerAccess)}
+	if len(priority) == 0 {
+		d.GranularityPages, d.Width, d.LocalRatio = 1, 1, 1
+		return d
+	}
+	d.Backend = priority[0]
+	var chosen BackendOption
+	for _, o := range opts {
+		if o.Name == d.Backend {
+			chosen = o
+			break
+		}
+	}
+	d.GranularityPages, d.Width = TuneTransfer(chosen, f)
+	d.UseTHP = d.GranularityPages >= 64
+	d.LocalRatio = MinLocalRatio(chosen, f, computePerAccess, slo)
+	return d
+}

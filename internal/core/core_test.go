@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func options() []BackendOption {
+	return []BackendOption{
+		OptionFromSpec(device.SpecTestbedSSD("ssd")),
+		OptionFromSpec(device.SpecConnectX5("rdma")),
+		OptionFromSpec(device.SpecRemoteDRAM("dram")),
+	}
+}
+
+func seqFeatures() trace.Features {
+	return trace.Features{
+		FootprintPages: 16384, TouchedPages: 16384, AnonRatio: 0.95,
+		LoadRatio: 0.8, SeqRatio: 0.9, MaxSeqRunPages: 300,
+		FragmentRatio: 0.001, HotRatio: 0.3,
+	}
+}
+
+func randFeatures() trace.Features {
+	return trace.Features{
+		FootprintPages: 16384, TouchedPages: 14000, AnonRatio: 0.5,
+		LoadRatio: 0.85, SeqRatio: 0.2, MaxSeqRunPages: 8,
+		FragmentRatio: 0.2, HotRatio: 0.15,
+	}
+}
+
+func TestTuneTransferSequentialPicksLargeGrain(t *testing.T) {
+	rdma := OptionFromSpec(device.SpecConnectX5("rdma"))
+	g, w := TuneTransfer(rdma, seqFeatures())
+	if g < 16 {
+		t.Fatalf("sequential workload got granularity %d, want >= 16", g)
+	}
+	if w < 2 {
+		t.Fatalf("sequential workload got width %d, want >= 2", w)
+	}
+}
+
+func TestTuneTransferRandomPicksSmallGrain(t *testing.T) {
+	ssd := OptionFromSpec(device.SpecTestbedSSD("ssd"))
+	g, _ := TuneTransfer(ssd, randFeatures())
+	if g > 8 {
+		t.Fatalf("random workload got granularity %d, want <= 8", g)
+	}
+}
+
+func TestPredictPageCostMonotoneInBackendSpeed(t *testing.T) {
+	f := seqFeatures()
+	ssd := PredictPageCost(OptionFromSpec(device.SpecTestbedSSD("ssd")), f, 1, 1)
+	rdma := PredictPageCost(OptionFromSpec(device.SpecConnectX5("rdma")), f, 1, 1)
+	dram := PredictPageCost(OptionFromSpec(device.SpecRemoteDRAM("dram")), f, 1, 1)
+	if !(dram < rdma && rdma < ssd) {
+		t.Fatalf("cost ordering violated: dram=%v rdma=%v ssd=%v", dram, rdma, ssd)
+	}
+}
+
+// Fig 8's core claim: anonymous-heavy workloads prefer RDMA; file-heavy
+// workloads prefer SSD.
+func TestBackendPreferenceByAnonRatio(t *testing.T) {
+	opts := []BackendOption{
+		OptionFromSpec(device.SpecTestbedSSD("ssd")),
+		OptionFromSpec(device.SpecConnectX5("rdma")),
+	}
+	anonHeavy := seqFeatures()
+	anonHeavy.AnonRatio = 0.95
+	anonHeavy.FileTrafficRatio = 0.05
+	anonHeavy.SeqRatio = 0.5
+	anonHeavy.FragmentRatio = 0.01
+	pri, mei := SelectBackend(opts, anonHeavy, 80*sim.Nanosecond, 0.5)
+	if pri[0] != "rdma" {
+		t.Fatalf("anon-heavy priority %v (MEI %v), want rdma first", pri, mei)
+	}
+
+	fileHeavy := anonHeavy
+	fileHeavy.AnonRatio = 0.3
+	fileHeavy.FileTrafficRatio = 0.7
+	pri, mei = SelectBackend(opts, fileHeavy, 80*sim.Nanosecond, 0.5)
+	if pri[0] != "ssd" {
+		t.Fatalf("file-heavy priority %v (MEI %v), want ssd first", pri, mei)
+	}
+}
+
+func TestUnavailableBackendExcluded(t *testing.T) {
+	opts := options()
+	for i := range opts {
+		if opts[i].Name == "rdma" {
+			opts[i].Available = false
+		}
+	}
+	pri, mei := SelectBackend(opts, seqFeatures(), 80*sim.Nanosecond, 0.5)
+	if _, ok := mei["rdma"]; ok {
+		t.Fatal("unavailable backend received an MEI score")
+	}
+	for _, name := range pri {
+		if name == "rdma" {
+			t.Fatal("unavailable backend in priority list")
+		}
+	}
+}
+
+func TestMinLocalRatioSLO(t *testing.T) {
+	rdma := OptionFromSpec(device.SpecConnectX5("rdma"))
+	f := seqFeatures()
+	tight := MinLocalRatio(rdma, f, 100*sim.Nanosecond, 1.05)
+	loose := MinLocalRatio(rdma, f, 100*sim.Nanosecond, 1.8)
+	if loose > tight {
+		t.Fatalf("looser SLO requires more memory: tight=%v loose=%v", tight, loose)
+	}
+	if tight <= 0 || tight > 1 || loose < 0.1 {
+		t.Fatalf("ratios out of range: tight=%v loose=%v", tight, loose)
+	}
+}
+
+func TestChooseNUMA(t *testing.T) {
+	if ChooseNUMA(seqFeatures(), 50*sim.Nanosecond) != 0 { // BindLocal
+		t.Fatal("memory-bound task should bind local")
+	}
+	if ChooseNUMA(seqFeatures(), 500*sim.Nanosecond) == 0 {
+		t.Fatal("compute-bound task should allow interleave")
+	}
+}
+
+func TestDecideFullPipeline(t *testing.T) {
+	d := Decide(options(), seqFeatures(), 100*sim.Nanosecond, 1.3)
+	if d.Backend == "" || len(d.Priority) != 3 {
+		t.Fatalf("decision incomplete: %+v", d)
+	}
+	if d.GranularityPages < 1 || d.Width < 1 {
+		t.Fatalf("untuned transfer: %+v", d)
+	}
+	if d.LocalRatio < 0.1 || d.LocalRatio > 1 {
+		t.Fatalf("local ratio out of range: %v", d.LocalRatio)
+	}
+	if d.MEI[d.Backend] < d.MEI[d.Priority[len(d.Priority)-1]] {
+		t.Fatal("selected backend does not have top MEI")
+	}
+}
+
+func TestDecideNoBackends(t *testing.T) {
+	d := Decide(nil, seqFeatures(), 100*sim.Nanosecond, 1.3)
+	if d.Backend != "" || d.GranularityPages != 1 || d.LocalRatio != 1 {
+		t.Fatalf("empty-catalog decision wrong: %+v", d)
+	}
+}
+
+func TestUsefulPagesBounds(t *testing.T) {
+	f := seqFeatures()
+	if usefulPages(f, 1) != 1 {
+		t.Fatal("g=1 must be exactly 1 useful page")
+	}
+	u := usefulPages(f, 64)
+	if u <= 1 || u > 64 {
+		t.Fatalf("useful pages %v out of (1, 64]", u)
+	}
+	frag := randFeatures()
+	if usefulPages(frag, 64) >= u {
+		t.Fatal("fragmented stream should predict fewer useful pages")
+	}
+}
+
+// Property: MEI ordering is deterministic and complete for any feature
+// vector, and every score is positive.
+func TestSelectBackendProperty(t *testing.T) {
+	f := func(seqSeed, anonSeed, fragSeed, hotSeed uint8) bool {
+		ft := trace.Features{
+			FootprintPages: 8192,
+			TouchedPages:   8192,
+			AnonRatio:      float64(anonSeed) / 255,
+			SeqRatio:       float64(seqSeed) / 255,
+			FragmentRatio:  float64(fragSeed) / 255,
+			HotRatio:       float64(hotSeed) / 255 * 0.9,
+			LoadRatio:      0.8,
+		}
+		pri, mei := SelectBackend(options(), ft, 100*sim.Nanosecond, 0.5)
+		if len(pri) != 3 {
+			return false
+		}
+		for i := 1; i < len(pri); i++ {
+			if mei[pri[i-1]] < mei[pri[i]] {
+				return false
+			}
+		}
+		for _, v := range mei {
+			if v <= 0 {
+				return false
+			}
+		}
+		// Determinism.
+		pri2, _ := SelectBackend(options(), ft, 100*sim.Nanosecond, 0.5)
+		for i := range pri {
+			if pri[i] != pri2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(71))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: predicted cost per useful page never increases when the backend
+// gets strictly faster at the same tuning point.
+func TestPredictCostProperty(t *testing.T) {
+	f := func(gSeed, wSeed uint8) bool {
+		g := granularityCandidates[int(gSeed)%len(granularityCandidates)]
+		w := widthCandidates[int(wSeed)%len(widthCandidates)]
+		ft := seqFeatures()
+		slow := OptionFromSpec(device.SpecTestbedSSD("ssd"))
+		fast := slow
+		fast.OpLatency /= 2
+		fast.Bandwidth *= 2
+		fast.ChannelBandwidth *= 2
+		return PredictPageCost(fast, ft, g, w) <= PredictPageCost(slow, ft, g, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(72))}); err != nil {
+		t.Fatal(err)
+	}
+}

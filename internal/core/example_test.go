@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The console end to end: fuse trace features, rank backends by MEI, and
+// tune the transfer parameters for the winner.
+func ExampleDecide() {
+	// An anonymous-heavy, fairly sequential application (a Ligra-style
+	// graph workload after offline profiling).
+	features := trace.Features{
+		FootprintPages: 16384,
+		TouchedPages:   15000,
+		AnonRatio:      0.92,
+		LoadRatio:      0.8,
+		SeqRatio:       0.55,
+		MaxSeqRunPages: 40,
+		FragmentRatio:  0.02,
+		HotRatio:       0.2,
+	}
+	options := []core.BackendOption{
+		core.OptionFromSpec(device.SpecTestbedSSD("ssd")),
+		core.OptionFromSpec(device.SpecConnectX5("rdma")),
+	}
+
+	d := core.Decide(options, features, 100*sim.Nanosecond, 1.4)
+	fmt.Println("backend:", d.Backend)
+	fmt.Println("granularity (pages):", d.GranularityPages)
+	fmt.Println("width:", d.Width)
+	// Output:
+	// backend: rdma
+	// granularity (pages): 8
+	// width: 2
+}

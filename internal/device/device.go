@@ -1,0 +1,228 @@
+// Package device models the far-memory backend hardware the paper evaluates:
+// HDDs, NVMe SSDs, RDMA NICs (ConnectX-5/6), DPUs (BlueField-3), CXL memory
+// expanders, and host-borrowed remote DRAM.
+//
+// A Device is a queueing station in front of the PCIe fabric: operations wait
+// for one of the device's parallel I/O channels (the paper's tunable "I/O
+// width"), pay a per-operation base latency (plus a random-access penalty for
+// media with seek/NAND overheads), then stream their payload through the
+// device's internal-bandwidth link and its PCIe slot link. Bandwidth sharing
+// between in-flight operations — and between devices on the same fabric — is
+// handled by the fluid-flow arbiter in package pcie.
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Kind classifies the far-memory medium.
+type Kind int
+
+// Device kinds evaluated by the paper.
+const (
+	HDD Kind = iota
+	SSD
+	RDMA
+	DPU
+	CXL
+	RemoteDRAM
+)
+
+func (k Kind) String() string {
+	switch k {
+	case HDD:
+		return "hdd"
+	case SSD:
+		return "ssd"
+	case RDMA:
+		return "rdma"
+	case DPU:
+		return "dpu"
+	case CXL:
+		return "cxl"
+	case RemoteDRAM:
+		return "dram"
+	default:
+		return "unknown"
+	}
+}
+
+// Spec describes a device model's performance envelope.
+type Spec struct {
+	Name string
+	Kind Kind
+
+	// Bandwidth is the device's internal data bandwidth (media or NIC line
+	// rate), the number quoted in Fig 1(b).
+	Bandwidth units.BytesPerSec
+
+	// ReadLatency/WriteLatency are per-operation base latencies for
+	// sequential access at page granularity.
+	ReadLatency  sim.Duration
+	WriteLatency sim.Duration
+
+	// RandomPenalty is added per op when the access is not sequential with
+	// the previous one (HDD seeks, NAND read-around, NIC cache misses).
+	RandomPenalty sim.Duration
+
+	// Channels is the default number of parallel I/O channels (queue pairs
+	// for RDMA, NVMe queues for SSD). This is the paper's "I/O width" knob.
+	Channels int
+
+	// ChannelBandwidth caps the rate of a single in-flight operation: real
+	// devices only reach their full bandwidth at queue depth > 1 (NAND plane
+	// parallelism, multiple NIC queue pairs). Zero means uncapped.
+	ChannelBandwidth units.BytesPerSec
+
+	// Capacity is the usable far-memory capacity the device exposes.
+	Capacity int64
+
+	// CostPerGB is the relative hardware cost used by the MEI metric
+	// (performance improvement per unit device cost).
+	CostPerGB float64
+
+	// SlotGen/SlotLanes describe the PCIe slot the device occupies.
+	SlotGen   pcie.Generation
+	SlotLanes int
+}
+
+// SlotBandwidth reports the usable unidirectional bandwidth of the slot.
+func (s Spec) SlotBandwidth() units.BytesPerSec {
+	return s.SlotGen.SlotBandwidth(s.SlotLanes)
+}
+
+// Op is one I/O operation against a device.
+type Op struct {
+	Write      bool
+	Size       int64
+	Sequential bool
+}
+
+// Device is an instantiated device attached to a host fabric.
+type Device struct {
+	spec     Spec
+	eng      *sim.Engine
+	fabric   *pcie.Fabric
+	internal *pcie.Link
+	slot     *pcie.Link
+	extra    []*pcie.Link // e.g. host root-complex budget
+
+	// Reads and writes occupy separate channel pools, mirroring real
+	// hardware (NVMe submission queues, RDMA queue pairs) and PCIe's full
+	// duplex: a fault's read is never stuck behind write-back traffic at
+	// admission, though both directions still share the media bandwidth.
+	readCh  *sim.Resource
+	writeCh *sim.Resource
+
+	// Stats.
+	Ops       metrics.Counter
+	ReadOps   metrics.Counter
+	WriteOps  metrics.Counter
+	BytesRead float64
+	BytesWrit float64
+	Latency   metrics.Summary // per-op end-to-end latency, µs
+}
+
+// New attaches a device with the given spec to a fabric. extraLinks (such as
+// the host root-complex budget) are appended to every transfer path so that
+// fabric-level contention between devices is modeled.
+func New(eng *sim.Engine, fabric *pcie.Fabric, spec Spec, extraLinks ...*pcie.Link) *Device {
+	if spec.Channels <= 0 {
+		panic(fmt.Sprintf("device %q: non-positive channel count", spec.Name))
+	}
+	d := &Device{
+		spec:     spec,
+		eng:      eng,
+		fabric:   fabric,
+		internal: fabric.NewLink(spec.Name+"/media", spec.Bandwidth),
+		slot:     fabric.NewLink(spec.Name+"/slot", spec.SlotBandwidth()),
+		extra:    extraLinks,
+		readCh:   sim.NewResource(eng, spec.Channels),
+		writeCh:  sim.NewResource(eng, spec.Channels),
+	}
+	d.Ops.Name = spec.Name + ".ops"
+	d.ReadOps.Name = spec.Name + ".reads"
+	d.WriteOps.Name = spec.Name + ".writes"
+	return d
+}
+
+// Spec reports the device's specification.
+func (d *Device) Spec() Spec { return d.spec }
+
+// Kind reports the device's medium kind.
+func (d *Device) Kind() Kind { return d.spec.Kind }
+
+// Name reports the device's name.
+func (d *Device) Name() string { return d.spec.Name }
+
+// Channels reports the current I/O width (per direction).
+func (d *Device) Channels() int { return d.readCh.Capacity() }
+
+// SetChannels adjusts the I/O width (the paper tunes this online per path).
+func (d *Device) SetChannels(n int) {
+	d.readCh.Resize(n)
+	d.writeCh.Resize(n)
+}
+
+// QueueDepth reports operations waiting for a channel in either direction.
+func (d *Device) QueueDepth() int { return d.readCh.Waiting() + d.writeCh.Waiting() }
+
+// InFlight reports operations currently holding a channel.
+func (d *Device) InFlight() int { return d.readCh.InUse() + d.writeCh.InUse() }
+
+// SlotLink exposes the device's PCIe slot link for utilization reporting.
+func (d *Device) SlotLink() *pcie.Link { return d.slot }
+
+// MediaLink exposes the device's internal-bandwidth link.
+func (d *Device) MediaLink() *pcie.Link { return d.internal }
+
+// Submit enqueues an operation; done (if non-nil) fires at completion with
+// the end-to-end latency including channel queueing.
+func (d *Device) Submit(op Op, done func(lat sim.Duration)) {
+	if op.Size <= 0 {
+		panic(fmt.Sprintf("device %q: op with non-positive size", d.spec.Name))
+	}
+	start := d.eng.Now()
+	ch := d.readCh
+	if op.Write {
+		ch = d.writeCh
+	}
+	ch.Acquire(1, func() {
+		base := d.spec.ReadLatency
+		if op.Write {
+			base = d.spec.WriteLatency
+		}
+		if !op.Sequential {
+			base += d.spec.RandomPenalty
+		}
+		d.eng.After(base, func() {
+			path := make([]*pcie.Link, 0, 2+len(d.extra))
+			path = append(path, d.internal, d.slot)
+			path = append(path, d.extra...)
+			d.fabric.TransferCapped(op.Size, d.spec.ChannelBandwidth, path, func(at sim.Time) {
+				ch.Release(1)
+				lat := at.Sub(start)
+				d.Ops.Inc()
+				if op.Write {
+					d.WriteOps.Inc()
+					d.BytesWrit += float64(op.Size)
+				} else {
+					d.ReadOps.Inc()
+					d.BytesRead += float64(op.Size)
+				}
+				d.Latency.Add(lat.Microseconds())
+				if done != nil {
+					done(lat)
+				}
+			})
+		})
+	})
+}
+
+// TotalBytes reports all payload moved through the device.
+func (d *Device) TotalBytes() float64 { return d.BytesRead + d.BytesWrit }

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/swap"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("ablation", Ablations)
+}
+
+// ablationSpec is the workload used by most ablations: anonymous-heavy,
+// mixed sequential/random, enough pressure to exercise every mechanism.
+func ablationSpec(o Options) workload.Spec {
+	return o.scaled(workload.ByName("lg-bc"))
+}
+
+// AblationBypass compares the full xDM configuration against the same
+// configuration forced through the hierarchical host path. Returns the
+// sys-time ratio (hierarchical / bypass).
+func AblationBypass(o Options) float64 {
+	run := func(hierarchical bool) sim.Duration {
+		eng := sim.NewEngine()
+		env := testbed(eng)
+		setup := baseline.PrepareXDM(env, env.Machine.Backend("rdma"), ablationSpec(o), 0.5, 1.4, o.Seed)
+		cfg := setup.Config
+		if hierarchical {
+			cfg.SwapPath = swap.NewHierarchicalPath(eng, env.Machine.Backend("rdma"),
+				cfg.SwapPath.Channel(), env.Machine.HostStage())
+		}
+		return runTask(eng, cfg).SysTime
+	}
+	return float64(run(true)) / float64(run(false))
+}
+
+// AblationIsolation compares per-VM channels against a shared channel for
+// two co-located xDM tasks. Returns the mean swap-in latency ratio
+// (shared / isolated).
+func AblationIsolation(o Options) float64 {
+	run := func(shared bool) float64 {
+		eng := sim.NewEngine()
+		env := testbed(eng)
+		sharedCh := swap.NewChannel(eng, "shared", 4)
+		var paths []*swap.Path
+		for i := 0; i < 2; i++ {
+			setup := baseline.PrepareXDM(env, env.Machine.Backend("rdma"), ablationSpec(o), 0.5, 1.4, o.Seed+int64(i))
+			cfg := setup.Config
+			if shared {
+				cfg.SwapPath = swap.NewPath(eng, env.Machine.Backend("rdma"), sharedCh)
+			}
+			paths = append(paths, cfg.SwapPath)
+			task.New(cfg).Start(nil)
+		}
+		eng.Run()
+		var sum float64
+		var n uint64
+		for _, p := range paths {
+			sum += p.InLatency.Mean() * float64(p.InLatency.Count())
+			n += p.InLatency.Count()
+		}
+		return sum / float64(n)
+	}
+	return run(true) / run(false)
+}
+
+// AblationMEI compares the console's MEI backend choice against the
+// anti-choice (lowest MEI) for a workload pair, returning the runtime ratio
+// (anti / MEI).
+func AblationMEI(o Options) float64 {
+	spec := ablationSpec(o)
+	eng := sim.NewEngine()
+	env := testbed(eng)
+	opts := []core.BackendOption{
+		baseline.OptionFor(env.Machine.Backend("ssd")),
+		baseline.OptionFor(env.Machine.Backend("rdma")),
+		baseline.OptionFor(env.Machine.Backend("dram")),
+	}
+	f := baseline.Profile(spec, o.Seed)
+	priority, _ := core.SelectBackend(opts, f, spec.ComputePerAccess, 0.5)
+	best, worst := priority[0], priority[len(priority)-1]
+
+	measure := func(backend string) sim.Duration {
+		eng := sim.NewEngine()
+		env := testbed(eng)
+		setup := baseline.PrepareXDM(env, env.Machine.Backend(backend), spec, 0.5, 1.4, o.Seed)
+		return runTask(eng, setup.Config).Runtime
+	}
+	return float64(measure(worst)) / float64(measure(best))
+}
+
+// AblationKnob runs xDM with one console knob disabled and returns the
+// sys-time ratio (disabled / full). Knobs: "granularity", "width",
+// "adaptive".
+func AblationKnob(o Options, knob string) float64 {
+	run := func(disable string) sim.Duration {
+		eng := sim.NewEngine()
+		env := testbed(eng)
+		setup := baseline.PrepareXDM(env, env.Machine.Backend("rdma"), ablationSpec(o), 0.5, 1.4, o.Seed)
+		cfg := setup.Config
+		switch disable {
+		case "granularity":
+			cfg.GranularityPages = 1
+			cfg.OnEpoch = nil
+		case "width":
+			env.Machine.Backend("rdma").SetWidth(1)
+			cfg.OnEpoch = nil
+		case "adaptive":
+			cfg.AdaptiveWindow = false
+			cfg.AlignedReadahead = true
+		}
+		return runTask(eng, cfg).SysTime
+	}
+	return float64(run(knob)) / float64(run(""))
+}
+
+// AblationWarmStart compares Algorithm 1 placement latency with a
+// pre-booted warm VM pool against an empty fleet (cold creates). Returns
+// both times: warm placement is effectively instant, cold pays a VM boot.
+func AblationWarmStart(o Options) (warm, cold sim.Duration) {
+	measure := func(warm bool) sim.Duration {
+		eng := sim.NewEngine()
+		env := testbed(eng)
+		if warm {
+			for _, name := range env.Machine.BackendNames() {
+				env.Machine.CreateVM("vm-"+name, 4, 8*workload.PagesPerGiB, []string{name}, nil)
+			}
+			eng.Run()
+		}
+		start := eng.Now()
+		d := cluster.NewDispatcher(env)
+		readyAt := sim.Time(-1)
+		d.Dispatch(cluster.App{Spec: ablationSpec(o), SLO: 1.4, Seed: o.Seed, Cores: 1},
+			func(cluster.Placement) { readyAt = eng.Now() })
+		eng.Run()
+		if readyAt < 0 {
+			panic("ablation: dispatch never became ready")
+		}
+		return readyAt.Sub(start)
+	}
+	return measure(true), measure(false)
+}
+
+// Ablations renders the design-choice ablation study (DESIGN.md §4).
+func Ablations(o Options) []Table {
+	t := Table{
+		ID:      "ablation",
+		Title:   "Design-choice ablations: cost of removing each xDM mechanism",
+		Columns: []string{"mechanism removed", "metric", "degradation"},
+	}
+	t.AddRow("host bypass (use hierarchical path)", "sys time", ratio(AblationBypass(o)))
+	t.AddRow("channel isolation (share one channel)", "swap-in latency", ratio(AblationIsolation(o)))
+	t.AddRow("MEI backend selection (use worst backend)", "runtime", ratio(AblationMEI(o)))
+	t.AddRow("granularity tuning (fixed 4K)", "sys time", ratio(AblationKnob(o, "granularity")))
+	t.AddRow("width tuning (single channel)", "sys time", ratio(AblationKnob(o, "width")))
+	t.AddRow("adaptive fetch window (kernel-style cluster)", "sys time", ratio(AblationKnob(o, "adaptive")))
+	warm, cold := AblationWarmStart(o)
+	t.AddRow("warm-start VM pool (cold creates)", "time-to-placement",
+		fmt.Sprintf("%v -> %v", warm, cold))
+	t.Notes = append(t.Notes, "each row removes exactly one mechanism from the full system; >1.00x = the mechanism helps")
+	return []Table{t}
+}

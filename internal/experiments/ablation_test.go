@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestAblations(t *testing.T) {
+	ts, ok := Run("ablation", TestOptions())
+	if !ok {
+		t.Fatal("missing")
+	}
+	ts[0].Render(os.Stdout)
+	// Every removed mechanism should cost something (ratio >= ~1).
+	for _, row := range ts[0].Rows[:len(ts[0].Rows)-1] {
+		v := parseRatio(t, row[2])
+		if v < 0.9 {
+			t.Errorf("%s: removing it helps (%.2fx)?", row[0], v)
+		}
+	}
+	warm, cold := AblationWarmStart(TestOptions())
+	if cold <= warm {
+		t.Errorf("cold placement (%v) not slower than warm (%v)", cold, warm)
+	}
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+func TestAlgorithm1Experiment(t *testing.T) {
+	ts, ok := Run("alg1", TestOptions())
+	if !ok {
+		t.Fatal("missing")
+	}
+	rows := ts[0].Rows
+	if len(rows) != 2 {
+		t.Fatal("want warm and cold rows")
+	}
+	warmDelay := rows[0][7]
+	coldDelay := rows[1][7]
+	if warmDelay == coldDelay {
+		t.Fatalf("warm (%s) and cold (%s) placement delays should differ", warmDelay, coldDelay)
+	}
+	if rows[0][6] != "0" {
+		t.Fatalf("warm pool rejected %s apps", rows[0][6])
+	}
+}

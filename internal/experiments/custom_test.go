@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestCustomPipeline(t *testing.T) {
+	specs := []workload.Spec{
+		{
+			Name: "user-app", Class: workload.Compute,
+			FootprintPages: 2048, AnonFraction: 0.9, Coverage: 1.0,
+			SegmentLen: 128, SeqShare: 0.5, RunLen: 16,
+			HotShare: 0.2, HotProb: 0.7, WriteFraction: 0.3,
+			ComputePerAccess: 200 * sim.Nanosecond, MainAccesses: 8000, Threads: 2,
+		},
+	}
+	ts := Custom(specs, TestOptions())
+	if len(ts) != 1 || len(ts[0].Rows) != 1 {
+		t.Fatalf("custom produced %d tables", len(ts))
+	}
+	row := ts[0].Rows[0]
+	if row[0] != "user-app" {
+		t.Fatalf("row %v", row)
+	}
+	if sp := parseRatio(t, row[9]); sp < 0.5 || sp > 6 {
+		t.Fatalf("implausible speedup %v", row[9])
+	}
+	// The chosen backend must be one of the catalog's.
+	switch row[4] {
+	case "ssd", "rdma", "dram":
+	default:
+		t.Fatalf("unknown backend %q", row[4])
+	}
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestCXLModes(t *testing.T) {
+	ts, ok := Run("cxl", TestOptions())
+	if !ok {
+		t.Fatal("missing")
+	}
+	ts[0].Render(os.Stdout)
+	if len(ts[0].Rows) != 4 {
+		t.Fatal("want 4 workloads")
+	}
+}

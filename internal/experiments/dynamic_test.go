@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+// The paper's headline capability: the dynamic swapper must track phase
+// changes with warm switches, beating the mismatched static choice.
+func TestDynamicSwitchingCapability(t *testing.T) {
+	ts, ok := Run("dynamic", Options{Scale: 8, Seed: 1})
+	if !ok {
+		t.Fatal("missing")
+	}
+	rows := ts[0].Rows
+	var ssd, rdma, dyn []string
+	for _, r := range rows {
+		switch r[0] {
+		case "static-ssd":
+			ssd = r
+		case "static-rdma":
+			rdma = r
+		case "xdm-dynamic":
+			dyn = r
+		}
+	}
+	ssdRT := parseRatio(t, ssd[1][:len(ssd[1])-2])
+	dynRT := parseRatio(t, dyn[1][:len(dyn[1])-2])
+	rdmaRT := parseRatio(t, rdma[1][:len(rdma[1])-2])
+
+	if dyn[5] == "0" {
+		t.Fatal("no dynamic switches happened on a phase-changing workload")
+	}
+	if dynRT >= ssdRT {
+		t.Fatalf("dynamic (%vms) should beat the mismatched static-ssd (%vms)", dynRT, ssdRT)
+	}
+	best := rdmaRT
+	if ssdRT < best {
+		best = ssdRT
+	}
+	if dynRT > 2.5*best {
+		t.Fatalf("dynamic (%vms) too far from best static (%vms)", dynRT, best)
+	}
+	// Effectiveness: dynamic must beat the mismatched static.
+	if parseRatio(t, dyn[4]) <= parseRatio(t, ssd[4]) {
+		t.Fatalf("dynamic effectiveness %s not above static-ssd %s", dyn[4], ssd[4])
+	}
+}

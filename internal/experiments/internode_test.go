@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInterNodeExperiment(t *testing.T) {
+	ts, ok := Run("internode", TestOptions())
+	if !ok {
+		t.Fatal("missing")
+	}
+	if len(ts[0].Rows) != 3 {
+		t.Fatal("want 3 workloads")
+	}
+	for _, row := range ts[0].Rows {
+		sp := parseRatio(t, row[3])
+		if sp <= 1.0 {
+			t.Errorf("%s: remote DRAM (%v) should beat the SSD squeeze", row[0], row[3])
+		}
+		if !strings.HasSuffix(row[4], "%") || !strings.HasSuffix(row[5], "%") {
+			t.Errorf("%s: utilization cells malformed: %v %v", row[0], row[4], row[5])
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/swap"
+	"repro/internal/units"
+)
+
+func init() {
+	register("fig1b", Fig1b)
+	register("fig2b", Fig2b)
+	register("fig3", Fig3)
+	register("fig4", Fig4)
+	register("fig5a", Fig5a)
+}
+
+// Fig1b reproduces Fig 1(b): bandwidth of commercial far-memory
+// technologies, measured by streaming a bulk transfer through each device
+// model and comparing against the fabric budget.
+func Fig1b(o Options) []Table {
+	t := Table{
+		ID:      "fig1b",
+		Title:   "Bandwidth comparison of far memory technologies (Fig 1b)",
+		Columns: []string{"device", "kind", "spec GB/s", "measured GB/s", "PCIe 4.0 x16 share"},
+	}
+	budget := pcie.Gen4.DuplexBandwidth(16).GB()
+	const totalBytes = 8 << 30
+	for _, spec := range device.Catalog() {
+		eng := sim.NewEngine()
+		h := device.NewHost(eng, pcie.Gen5, 16) // roomy fabric: measure the device
+		d := h.Attach(spec)
+		const chunk = 8 * units.MiB
+		for off := int64(0); off < totalBytes/int64(o.Scale); off += chunk {
+			d.Submit(device.Op{Size: chunk, Sequential: true}, nil)
+		}
+		eng.Run()
+		measured := d.TotalBytes() / eng.Now().Seconds() / 1e9
+		t.AddRow(spec.Name, spec.Kind.String(), f2(spec.Bandwidth.GB()), f2(measured),
+			pct(measured/budget))
+	}
+	t.Notes = append(t.Notes,
+		"no single device saturates the 64 GB/s PCIe 4.0 x16 fabric — the multi-backend motivation")
+	return []Table{t}
+}
+
+// Fig2b reproduces Fig 2(b): access latency of different far-memory
+// backends transferring 64 MB at 4 KB page granularity.
+func Fig2b(o Options) []Table {
+	t := Table{
+		ID:      "fig2b",
+		Title:   "64MB @ 4KB-page access latency per far-memory backend (Fig 2b)",
+		Columns: []string{"backend", "pages", "total", "mean/page", "max/page"},
+	}
+	specs := []device.Spec{
+		device.SpecRemoteDRAM("dram"),
+		device.SpecConnectX5("rdma"),
+		device.SpecTestbedSSD("ssd"),
+		device.SpecHDD("hdd"),
+	}
+	pages := int(64 * units.MiB / units.PageSize / int64(o.Scale))
+	for _, spec := range specs {
+		eng := sim.NewEngine()
+		h := device.NewHost(eng, pcie.Gen4, 16)
+		be := swap.NewDeviceBackend(eng, h.Attach(spec))
+		path := swap.NewPath(eng, be, swap.NewChannel(eng, spec.Name, 4))
+		// Closed loop, as the paper measures: one page access at a time.
+		remaining := pages
+		var next func(sim.Duration)
+		next = func(sim.Duration) {
+			if remaining == 0 {
+				return
+			}
+			remaining--
+			path.SwapIn(swap.Extent{Pages: 1, Sequential: true}, next)
+		}
+		next(0)
+		eng.Run()
+		t.AddRow(spec.Name, fmt.Sprint(pages), ms(sim.Duration(eng.Now())),
+			us(sim.Duration(float64(sim.Microsecond)*path.InLatency.Mean())),
+			us(sim.Duration(float64(sim.Microsecond)*path.InLatency.Max())))
+	}
+	t.Notes = append(t.Notes, "latency spans orders of magnitude across backends (dram < rdma < ssd < hdd)")
+	return []Table{t}
+}
+
+// Fig3 reproduces Fig 3: the PCIe bandwidth trend, doubling roughly every
+// three years.
+func Fig3(Options) []Table {
+	t := Table{
+		ID:      "fig3",
+		Title:   "I/O bandwidth trend across PCIe generations (Fig 3)",
+		Columns: []string{"generation", "year", "GT/s/lane", "x16 GB/s", "x16 duplex GB/s"},
+	}
+	for _, g := range []pcie.Generation{pcie.Gen1, pcie.Gen2, pcie.Gen3, pcie.Gen4, pcie.Gen5, pcie.Gen6} {
+		t.AddRow(g.String(), fmt.Sprint(g.Year()), f2(g.GTps()),
+			f2(g.SlotBandwidth(16).GB()), f2(g.DuplexBandwidth(16).GB()))
+	}
+	return []Table{t}
+}
+
+// Fig4 reproduces Fig 4: normalized data transfer latency of the single
+// shared hierarchical far-memory path versus multiple direct-connected
+// isolated paths, under co-location.
+func Fig4(o Options) []Table {
+	t := Table{
+		ID:      "fig4",
+		Title:   "Single shared hierarchical path vs multiple isolated bypass paths (Fig 4)",
+		Columns: []string{"configuration", "mean swap-in latency", "normalized", "speedup"},
+	}
+	pages := 4096 / o.Scale
+	const tenants = 4
+	measure := func(multi bool) sim.Duration {
+		eng := sim.NewEngine()
+		env := testbed(eng)
+		paths := make([]*swap.Path, tenants)
+		for i := range paths {
+			if multi {
+				// Each tenant gets a direct-connected device of its own and
+				// an isolated channel (Fig 4b).
+				dev := env.Machine.AttachDevice(device.SpecConnectX5(fmt.Sprintf("rdma-iso%d", i)))
+				_ = dev
+				paths[i] = swap.NewPath(eng, env.Machine.Backend(fmt.Sprintf("rdma-iso%d", i)),
+					swap.NewChannel(eng, fmt.Sprintf("iso%d", i), 4))
+			} else {
+				// All tenants share the single hierarchical path (Fig 4a).
+				paths[i] = env.Machine.SharedPath("rdma")
+			}
+		}
+		// Closed loop per tenant: one in-flight page op each, like a
+		// faulting task.
+		for i := range paths {
+			p := paths[i]
+			remaining := pages
+			var next func(sim.Duration)
+			next = func(sim.Duration) {
+				if remaining == 0 {
+					return
+				}
+				remaining--
+				p.SwapIn(swap.Extent{Pages: 1, Sequential: remaining%4 != 0}, next)
+			}
+			next(0)
+		}
+		eng.Run()
+		var sum float64
+		var n uint64
+		for _, p := range paths {
+			sum += p.InLatency.Mean() * float64(p.InLatency.Count())
+			n += p.InLatency.Count()
+		}
+		return sim.Duration(float64(sim.Microsecond) * sum / float64(n))
+	}
+	shared := measure(false)
+	multi := measure(true)
+	t.AddRow("single shared hierarchical path", us(shared), f2(1.0), ratio(1.0))
+	t.AddRow("multiple isolated bypass paths", us(multi),
+		f2(float64(multi)/float64(shared)), ratio(float64(shared)/float64(multi)))
+	t.Notes = append(t.Notes, "isolated host-bypass paths remove the host hop and the shared-channel contention")
+	return []Table{t}
+}
+
+// Fig5a reproduces Fig 5(a): end-to-end latency of loading a fixed dataset
+// from RDMA at different data-unit sizes, for address spaces of different
+// fragment ratios.
+func Fig5a(o Options) []Table {
+	t := Table{
+		ID:      "fig5a",
+		Title:   "Load latency vs data granularity on RDMA (Fig 5a)",
+		Columns: []string{"unit size", "contiguous (frag .001)", "moderate (frag .03)", "fragmented (frag .2)"},
+	}
+	totalPages := 8192 / o.Scale
+	fragments := []float64{0.001, 0.03, 0.2}
+	units_ := []int{1, 4, 16, 64, 256, 1024}
+
+	results := make(map[int][]sim.Duration)
+	for _, unit := range units_ {
+		for _, frag := range fragments {
+			eng := sim.NewEngine()
+			env := testbed(eng)
+			p := swap.NewPath(eng, env.Machine.Backend("rdma"), swap.NewChannel(eng, "ch", 4))
+			// A fragmented dataset yields partially useful units: the
+			// useful fraction of each unit shrinks with unit size, so more
+			// units (and bytes) move to load the same data.
+			segLen := 1 / frag
+			usefulPerUnit := float64(unit)
+			if float64(unit) > segLen {
+				usefulPerUnit = segLen
+			}
+			unitsNeeded := int(float64(totalPages)/usefulPerUnit + 0.5)
+			for i := 0; i < unitsNeeded; i++ {
+				p.SwapIn(swap.Extent{Pages: unit, Sequential: frag < 0.01}, nil)
+			}
+			eng.Run()
+			results[unit] = append(results[unit], sim.Duration(eng.Now()))
+		}
+	}
+	for _, unit := range units_ {
+		r := results[unit]
+		t.AddRow(units.HumanBytes(int64(unit)*units.PageSize), ms(r[0]), ms(r[1]), ms(r[2]))
+	}
+	t.Notes = append(t.Notes,
+		"larger units amortize per-op latency for contiguous data but amplify I/O for fragmented data — the optimal granularity depends on the fragment ratio")
+	return []Table{t}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+func TestTable1and2(t *testing.T) {
+	ts, ok := Run("tab1", TestOptions())
+	if !ok || len(ts) != 2 {
+		t.Fatal("tab1 should render two tables")
+	}
+	// xDM is the only multi-path row in Table I and the only row with all
+	// four knobs in Table II.
+	for _, tb := range ts {
+		multiCount := 0
+		for _, row := range tb.Rows {
+			all := true
+			for _, c := range row[1:5] {
+				if c != "y" {
+					all = false
+				}
+			}
+			if all {
+				multiCount++
+				if row[0] != "xdm (this repo)" {
+					t.Errorf("%s: %s claims full capability", tb.ID, row[0])
+				}
+			}
+		}
+		if multiCount != 1 {
+			t.Errorf("%s: %d full-capability rows, want 1", tb.ID, multiCount)
+		}
+	}
+}
+
+func TestTable5(t *testing.T) {
+	ts, ok := Run("tab5", TestOptions())
+	if !ok {
+		t.Fatal("missing")
+	}
+	if len(ts[0].Rows) != 17 {
+		t.Fatalf("Table V has 17 workloads, rendered %d", len(ts[0].Rows))
+	}
+}

@@ -1,0 +1,164 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NUMAPolicy selects where local pages are placed relative to the CPU's
+// socket. The paper binds CPU and memory to the same node for locality or
+// spreads across nodes for load balance (Sec IV-B: "data distribution").
+type NUMAPolicy int
+
+// NUMA placement policies.
+const (
+	// BindLocal allocates strictly on the CPU's node and fails over to the
+	// remote node only when the local node is exhausted.
+	BindLocal NUMAPolicy = iota
+	// Interleave round-robins pages across all nodes.
+	Interleave
+	// PreferRemote allocates on the other socket first (load-balance mode
+	// for insensitive applications under same-socket memory shortage).
+	PreferRemote
+)
+
+func (p NUMAPolicy) String() string {
+	switch p {
+	case BindLocal:
+		return "bind-local"
+	case Interleave:
+		return "interleave"
+	case PreferRemote:
+		return "prefer-remote"
+	default:
+		return "unknown"
+	}
+}
+
+// Node is one NUMA memory node.
+type Node struct {
+	ID            int8
+	CapacityPages int
+	UsedPages     int
+	// CPUless marks a node with memory but no cores — how recent work (and
+	// this paper's Sec IV-B) exposes CXL expanders to the OS.
+	CPUless bool
+}
+
+// Free reports the node's free page count.
+func (n *Node) Free() int { return n.CapacityPages - n.UsedPages }
+
+// Topology is the host's NUMA layout plus access latencies.
+type Topology struct {
+	Nodes []Node
+
+	// LocalLatency is the extra memory latency for a same-node access;
+	// RemoteLatency for a cross-socket access; CXLLatency for a CPU-less
+	// (CXL) node access.
+	LocalLatency  sim.Duration
+	RemoteLatency sim.Duration
+	CXLLatency    sim.Duration
+
+	rr int // interleave cursor
+}
+
+// NewTopology builds a two-socket topology with the given per-node capacity
+// in pages, matching the paper's dual-socket Xeon testbed.
+func NewTopology(pagesPerNode int) *Topology {
+	return &Topology{
+		Nodes: []Node{
+			{ID: 0, CapacityPages: pagesPerNode},
+			{ID: 1, CapacityPages: pagesPerNode},
+		},
+		LocalLatency:  80 * sim.Nanosecond,
+		RemoteLatency: 140 * sim.Nanosecond,
+		CXLLatency:    250 * sim.Nanosecond,
+	}
+}
+
+// AddCXLNode appends a CPU-less memory node (a CXL expander exposed as NUMA).
+func (t *Topology) AddCXLNode(pages int) {
+	t.Nodes = append(t.Nodes, Node{ID: int8(len(t.Nodes)), CapacityPages: pages, CPUless: true})
+}
+
+// TotalFree reports free pages across all nodes.
+func (t *Topology) TotalFree() int {
+	free := 0
+	for i := range t.Nodes {
+		free += t.Nodes[i].Free()
+	}
+	return free
+}
+
+// Allocate picks a node for one page under the given policy, for a CPU on
+// cpuNode. It returns the node ID, or -1 if all nodes are full.
+func (t *Topology) Allocate(policy NUMAPolicy, cpuNode int8) int8 {
+	pick := func(id int8) int8 {
+		n := &t.Nodes[id]
+		if n.Free() > 0 {
+			n.UsedPages++
+			return id
+		}
+		return -1
+	}
+	order := t.order(policy, cpuNode)
+	for _, id := range order {
+		if got := pick(id); got >= 0 {
+			return got
+		}
+	}
+	return -1
+}
+
+func (t *Topology) order(policy NUMAPolicy, cpuNode int8) []int8 {
+	ids := make([]int8, 0, len(t.Nodes))
+	switch policy {
+	case Interleave:
+		n := len(t.Nodes)
+		start := t.rr % n
+		t.rr++
+		for i := 0; i < n; i++ {
+			ids = append(ids, int8((start+i)%n))
+		}
+	case PreferRemote:
+		for i := range t.Nodes {
+			if int8(i) != cpuNode {
+				ids = append(ids, int8(i))
+			}
+		}
+		ids = append(ids, cpuNode)
+	default: // BindLocal
+		ids = append(ids, cpuNode)
+		for i := range t.Nodes {
+			if int8(i) != cpuNode {
+				ids = append(ids, int8(i))
+			}
+		}
+	}
+	return ids
+}
+
+// Release returns one page to node id.
+func (t *Topology) Release(id int8) {
+	if id < 0 || int(id) >= len(t.Nodes) {
+		panic(fmt.Sprintf("mem: release on invalid node %d", id))
+	}
+	n := &t.Nodes[id]
+	if n.UsedPages == 0 {
+		panic(fmt.Sprintf("mem: release on empty node %d", id))
+	}
+	n.UsedPages--
+}
+
+// AccessLatency reports the memory latency of an access from cpuNode to a
+// page on memNode.
+func (t *Topology) AccessLatency(cpuNode, memNode int8) sim.Duration {
+	if int(memNode) < len(t.Nodes) && t.Nodes[memNode].CPUless {
+		return t.CXLLatency
+	}
+	if cpuNode == memNode {
+		return t.LocalLatency
+	}
+	return t.RemoteLatency
+}

@@ -1,0 +1,269 @@
+// Package mem models the guest's memory subsystem at page granularity:
+// page tables, the kernel's active/inactive LRU lists, NUMA topology, and
+// cgroup-style local-memory limits. It is the substrate the swap engine
+// (package swap) reclaims from and faults into.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// PageType distinguishes the two page classes the paper's switching strategy
+// keys on (Fig 8): anonymous pages go through the swap path; file-backed
+// pages are dropped or written back to their file and re-read on fault.
+type PageType uint8
+
+// Page classes.
+const (
+	Anonymous PageType = iota
+	FileBacked
+)
+
+func (t PageType) String() string {
+	if t == Anonymous {
+		return "anon"
+	}
+	return "file"
+}
+
+// listID identifies which LRU list a page is on.
+type listID uint8
+
+const (
+	onNone listID = iota
+	onActive
+	onInactive
+)
+
+const nilPage int32 = -1
+
+// Page is one base (4 KiB) page of a process's address space.
+type Page struct {
+	Type       PageType
+	Resident   bool
+	Dirty      bool
+	Huge       bool // part of a THP-backed extent
+	Node       int8 // NUMA node holding the page while resident
+	Accesses   uint32
+	LastAccess sim.Time
+
+	prev, next int32
+	list       listID
+}
+
+// PageSet is a process's page table plus its LRU machinery. Pages are
+// identified by dense indices [0, Len).
+type PageSet struct {
+	pages          []Page
+	active         lru
+	inactive       lru
+	resident       int
+	residentByType [2]int
+}
+
+// lru is an intrusive doubly-linked list over PageSet.pages.
+type lru struct {
+	head, tail int32
+	size       int
+}
+
+// NewPageSet creates a page set of n pages, all of type Anonymous and
+// non-resident. Callers mark file-backed ranges with SetType.
+func NewPageSet(n int) *PageSet {
+	if n <= 0 {
+		panic("mem: page set must have at least one page")
+	}
+	ps := &PageSet{pages: make([]Page, n)}
+	ps.active = lru{head: nilPage, tail: nilPage}
+	ps.inactive = lru{head: nilPage, tail: nilPage}
+	for i := range ps.pages {
+		ps.pages[i].prev = nilPage
+		ps.pages[i].next = nilPage
+	}
+	return ps
+}
+
+// Len reports the number of pages.
+func (ps *PageSet) Len() int { return len(ps.pages) }
+
+// Bytes reports the footprint in bytes.
+func (ps *PageSet) Bytes() int64 { return int64(len(ps.pages)) * units.PageSize }
+
+// Page returns a pointer to page id for inspection. The LRU must be mutated
+// only through PageSet methods.
+func (ps *PageSet) Page(id int32) *Page { return &ps.pages[id] }
+
+// Resident reports how many pages are currently in local memory.
+func (ps *PageSet) Resident() int { return ps.resident }
+
+// ResidentByType reports resident page counts for the given type.
+func (ps *PageSet) ResidentByType(t PageType) int { return ps.residentByType[t] }
+
+// ActiveLen and InactiveLen report LRU list sizes.
+func (ps *PageSet) ActiveLen() int   { return ps.active.size }
+func (ps *PageSet) InactiveLen() int { return ps.inactive.size }
+
+// SetType marks pages [from, to) as the given type. Only valid before the
+// pages become resident.
+func (ps *PageSet) SetType(from, to int32, t PageType) {
+	for i := from; i < to; i++ {
+		if ps.pages[i].Resident {
+			panic("mem: SetType on resident page")
+		}
+		ps.pages[i].Type = t
+	}
+}
+
+// TypeCounts reports the number of anonymous and file-backed pages, the
+// ratio the paper's implicit switching strategy reads from the trace table.
+func (ps *PageSet) TypeCounts() (anon, file int) {
+	for i := range ps.pages {
+		if ps.pages[i].Type == Anonymous {
+			anon++
+		} else {
+			file++
+		}
+	}
+	return
+}
+
+func (ps *PageSet) list(id listID) *lru {
+	if id == onActive {
+		return &ps.active
+	}
+	return &ps.inactive
+}
+
+func (ps *PageSet) pushFront(l *lru, id int32) {
+	p := &ps.pages[id]
+	p.prev = nilPage
+	p.next = l.head
+	if l.head != nilPage {
+		ps.pages[l.head].prev = id
+	}
+	l.head = id
+	if l.tail == nilPage {
+		l.tail = id
+	}
+	l.size++
+}
+
+func (ps *PageSet) remove(l *lru, id int32) {
+	p := &ps.pages[id]
+	if p.prev != nilPage {
+		ps.pages[p.prev].next = p.next
+	} else {
+		l.head = p.next
+	}
+	if p.next != nilPage {
+		ps.pages[p.next].prev = p.prev
+	} else {
+		l.tail = p.prev
+	}
+	p.prev, p.next = nilPage, nilPage
+	l.size--
+}
+
+// MakeResident brings page id into local memory on the given NUMA node and
+// places it at the head of the inactive list (newly faulted pages must prove
+// their heat before reaching the active list, as in Linux).
+func (ps *PageSet) MakeResident(id int32, node int8) {
+	p := &ps.pages[id]
+	if p.Resident {
+		panic(fmt.Sprintf("mem: page %d already resident", id))
+	}
+	p.Resident = true
+	p.Node = node
+	p.list = onInactive
+	ps.pushFront(&ps.inactive, id)
+	ps.resident++
+	ps.residentByType[p.Type]++
+}
+
+// Evict removes page id from local memory and from its LRU list, reporting
+// whether it was dirty (and therefore needs writeback).
+func (ps *PageSet) Evict(id int32) (dirty bool) {
+	p := &ps.pages[id]
+	if !p.Resident {
+		panic(fmt.Sprintf("mem: evicting non-resident page %d", id))
+	}
+	if p.list != onNone {
+		ps.remove(ps.list(p.list), id)
+		p.list = onNone
+	}
+	p.Resident = false
+	ps.resident--
+	ps.residentByType[p.Type]--
+	dirty = p.Dirty
+	p.Dirty = false
+	return dirty
+}
+
+// Touch records an access to a resident page at the given time. Writes mark
+// the page dirty. Pages on the inactive list are promoted to the active
+// list; active pages move to the list head (LRU order).
+func (ps *PageSet) Touch(id int32, now sim.Time, write bool) {
+	p := &ps.pages[id]
+	if !p.Resident {
+		panic(fmt.Sprintf("mem: touching non-resident page %d", id))
+	}
+	p.Accesses++
+	p.LastAccess = now
+	if write {
+		p.Dirty = true
+	}
+	switch p.list {
+	case onInactive:
+		ps.remove(&ps.inactive, id)
+		p.list = onActive
+		ps.pushFront(&ps.active, id)
+	case onActive:
+		ps.remove(&ps.active, id)
+		ps.pushFront(&ps.active, id)
+	}
+}
+
+// ReclaimCandidate pops the coldest page: the tail of the inactive list,
+// refilling the inactive list from the active tail when it runs dry. It
+// returns -1 if no resident page remains. The page stays resident — the
+// caller evicts it once any writeback completes.
+func (ps *PageSet) ReclaimCandidate() int32 {
+	ps.balance()
+	if ps.inactive.tail != nilPage {
+		return ps.inactive.tail
+	}
+	if ps.active.tail != nilPage {
+		return ps.active.tail
+	}
+	return nilPage
+}
+
+// balance keeps the inactive list at least ~1/4 of resident pages by
+// demoting from the active tail, mirroring the kernel's shrink_active_list.
+func (ps *PageSet) balance() {
+	for ps.inactive.size*4 < ps.resident && ps.active.tail != nilPage {
+		id := ps.active.tail
+		ps.remove(&ps.active, id)
+		ps.pages[id].list = onInactive
+		ps.pushFront(&ps.inactive, id)
+	}
+}
+
+// ColdestResident iterates reclaim order without mutating state: it calls
+// fn on pages from coldest to hottest until fn returns false. Used by
+// policies that size hot sets.
+func (ps *PageSet) ColdestResident(fn func(id int32) bool) {
+	for id := ps.inactive.tail; id != nilPage; id = ps.pages[id].prev {
+		if !fn(id) {
+			return
+		}
+	}
+	for id := ps.active.tail; id != nilPage; id = ps.pages[id].prev {
+		if !fn(id) {
+			return
+		}
+	}
+}

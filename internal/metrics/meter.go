@@ -1,0 +1,51 @@
+package metrics
+
+import "repro/internal/sim"
+
+// Meter measures a rate (bytes/sec, ops/sec) over virtual time. Callers mark
+// quantities as they occur; Rate divides the accumulated quantity by the
+// elapsed virtual time since the meter started.
+type Meter struct {
+	eng   *sim.Engine
+	start sim.Time
+	total float64
+}
+
+// NewMeter creates a meter anchored at the engine's current time.
+func NewMeter(eng *sim.Engine) *Meter {
+	return &Meter{eng: eng, start: eng.Now()}
+}
+
+// Mark adds quantity to the meter's running total.
+func (m *Meter) Mark(quantity float64) { m.total += quantity }
+
+// Total reports the accumulated quantity.
+func (m *Meter) Total() float64 { return m.total }
+
+// Rate reports total / elapsed-seconds, or 0 if no time has elapsed.
+func (m *Meter) Rate() float64 {
+	elapsed := m.eng.Now().Sub(m.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return m.total / elapsed
+}
+
+// Reset re-anchors the meter at the current time with a zero total.
+func (m *Meter) Reset() {
+	m.start = m.eng.Now()
+	m.total = 0
+}
+
+// Counter is a simple monotonically increasing event count with a name,
+// mirroring kernel counters such as pgmajfault.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.Value++ }
+
+// Addn adds n to the counter.
+func (c *Counter) Addn(n uint64) { c.Value += n }

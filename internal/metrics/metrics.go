@@ -1,0 +1,146 @@
+// Package metrics provides the measurement primitives used across the
+// simulation: streaming summary statistics, fixed-bucket histograms, and
+// rate meters driven by virtual time. These stand in for the perf/VTune/PMU
+// instrumentation the paper uses on its physical testbed.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming count/mean/min/max/variance via Welford's
+// algorithm. The zero value is ready to use.
+type Summary struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Count reports the number of observations.
+func (s *Summary) Count() uint64 { return s.n }
+
+// Mean reports the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min reports the smallest observation, or 0 with none.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest observation, or 0 with none.
+func (s *Summary) Max() float64 { return s.max }
+
+// Sum reports the total of all observations.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
+// Variance reports the sample variance (n-1 denominator), or 0 for n < 2.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev reports the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g min=%.3g max=%.3g sd=%.3g",
+		s.n, s.Mean(), s.Min(), s.Max(), s.Stddev())
+}
+
+// Merge folds other into s, as if all of other's observations had been
+// Added to s.
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n := s.n + other.n
+	delta := other.mean - s.mean
+	mean := s.mean + delta*float64(other.n)/float64(n)
+	m2 := s.m2 + other.m2 + delta*delta*float64(s.n)*float64(other.n)/float64(n)
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+// Histogram is a sampling reservoir with exact quantiles: it keeps every
+// observation. Simulation runs are scaled down enough that exactness is
+// affordable and removes estimation error from experiment output.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.samples = append(h.samples, x)
+	h.sorted = false
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Quantile reports the q-quantile (0 <= q <= 1) using nearest-rank on the
+// sorted samples. It returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// Mean reports the arithmetic mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range h.samples {
+		sum += x
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() { h.samples = h.samples[:0]; h.sorted = false }

@@ -1,0 +1,258 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("count=%d", s.Count())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("mean=%v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Variance()-2.5) > 1e-12 {
+		t.Fatalf("variance=%v, want 2.5", s.Variance())
+	}
+	if math.Abs(s.Sum()-15) > 1e-9 {
+		t.Fatalf("sum=%v", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+}
+
+// Property: merging two summaries equals adding all observations to one.
+func TestSummaryMergeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var sa, sb, all Summary
+		for _, x := range a {
+			sa.Add(x)
+			all.Add(x)
+		}
+		for _, x := range b {
+			sb.Add(x)
+			all.Add(x)
+		}
+		sa.Merge(&sb)
+		if sa.Count() != all.Count() {
+			return false
+		}
+		close := func(x, y float64) bool {
+			return math.Abs(x-y) <= 1e-6*(1+math.Abs(x)+math.Abs(y))
+		}
+		return close(sa.Mean(), all.Mean()) && close(sa.Variance(), all.Variance()) &&
+			sa.Min() == all.Min() && sa.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.5, 50}, {0.9, 90}, {0.99, 99}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v)=%v, want %v", c.q, got, c.want)
+		}
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("mean=%v", h.Mean())
+	}
+}
+
+func TestHistogramAddAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Add(5)
+	_ = h.Quantile(0.5)
+	h.Add(1) // must re-sort
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0)=%v after re-add, want 1", got)
+	}
+}
+
+func TestHistogramEmptyAndReset(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Add(3)
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, qa, qb float64) bool {
+		var h Histogram
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			h.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		clamp := func(q float64) float64 { return math.Abs(math.Mod(q, 1)) }
+		qa, qb = clamp(qa), clamp(qb)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, vb := h.Quantile(qa), h.Quantile(qb)
+		return va <= vb && va >= lo && vb <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMeter(eng)
+	eng.At(sim.Time(sim.Second), func() { m.Mark(100) })
+	eng.At(sim.Time(2*sim.Second), func() { m.Mark(100) })
+	eng.Run()
+	if m.Total() != 200 {
+		t.Fatalf("total=%v", m.Total())
+	}
+	if r := m.Rate(); math.Abs(r-100) > 1e-9 {
+		t.Fatalf("rate=%v, want 100/s", r)
+	}
+	m.Reset()
+	if m.Total() != 0 || m.Rate() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "pgmajfault"}
+	c.Inc()
+	c.Addn(4)
+	if c.Value != 5 {
+		t.Fatalf("value=%d", c.Value)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(3)
+	if got := s.String(); got == "" || !strings.Contains(got, "n=2") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestSummaryMergeEdgeCases(t *testing.T) {
+	var a, b Summary
+	b.Add(5)
+	a.Merge(&b) // empty += nonempty
+	if a.Count() != 1 || a.Mean() != 5 {
+		t.Fatalf("merge into empty: %+v", a)
+	}
+	var c Summary
+	a.Merge(&c) // nonempty += empty
+	if a.Count() != 1 {
+		t.Fatal("merge of empty changed state")
+	}
+}
+
+func TestTimelineSampling(t *testing.T) {
+	eng := sim.NewEngine()
+	v := 0.0
+	tl := NewTimeline(eng, sim.Duration(10*sim.Microsecond), func() float64 { v++; return v })
+	eng.RunUntil(sim.Time(100 * sim.Microsecond))
+	tl.Stop()
+	eng.Run()
+	if n := len(tl.Samples()); n != 10 {
+		t.Fatalf("samples=%d, want 10", n)
+	}
+	if tl.Interval() != sim.Duration(10*sim.Microsecond) {
+		t.Fatal("interval wrong")
+	}
+	// Stop halts sampling even if the engine keeps running.
+	eng2 := sim.NewEngine()
+	tl2 := NewTimeline(eng2, 5, func() float64 { return 1 })
+	eng2.RunUntil(20)
+	tl2.Stop()
+	eng2.At(100, func() {})
+	eng2.Run()
+	if len(tl2.Samples()) != 4 {
+		t.Fatalf("post-stop samples: %d", len(tl2.Samples()))
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" || Sparkline([]float64{1}, 0) != "" {
+		t.Fatal("degenerate sparklines should be empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if s != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp sparkline = %q", s)
+	}
+	// Flat series renders the lowest level.
+	if Sparkline([]float64{5, 5, 5}, 3) != "▁▁▁" {
+		t.Fatal("flat sparkline wrong")
+	}
+	// Downsampling: 100 values into 10 chars.
+	var many []float64
+	for i := 0; i < 100; i++ {
+		many = append(many, float64(i))
+	}
+	if got := Sparkline(many, 10); len([]rune(got)) != 10 {
+		t.Fatalf("downsampled width %d", len([]rune(got)))
+	}
+}
+
+func TestDelta(t *testing.T) {
+	got := Delta([]float64{1, 3, 6, 10})
+	want := []float64{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delta=%v", got)
+		}
+	}
+	if Delta(nil) != nil {
+		t.Fatal("nil delta")
+	}
+}

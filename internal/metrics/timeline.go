@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Timeline samples a probe function at fixed virtual-time intervals — the
+// simulation's equivalent of a monitoring agent scraping a gauge. Use it to
+// watch fault rates, resident sizes, or bandwidth evolve over a run.
+type Timeline struct {
+	eng      *sim.Engine
+	interval sim.Duration
+	probe    func() float64
+	samples  []float64
+	stopped  bool
+}
+
+// NewTimeline starts sampling probe every interval until Stop is called or
+// the engine drains.
+func NewTimeline(eng *sim.Engine, interval sim.Duration, probe func() float64) *Timeline {
+	if interval <= 0 {
+		panic("metrics: timeline interval must be positive")
+	}
+	t := &Timeline{eng: eng, interval: interval, probe: probe}
+	var tick func()
+	tick = func() {
+		if t.stopped {
+			return
+		}
+		t.samples = append(t.samples, t.probe())
+		t.eng.After(t.interval, tick)
+	}
+	eng.After(interval, tick)
+	return t
+}
+
+// Stop ends sampling.
+func (t *Timeline) Stop() { t.stopped = true }
+
+// Samples returns the collected values.
+func (t *Timeline) Samples() []float64 { return t.samples }
+
+// Interval reports the sampling period.
+func (t *Timeline) Interval() sim.Duration { return t.interval }
+
+// sparkRunes are the eight sparkline levels.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders the samples as a unicode sparkline, downsampling (by
+// bucket-mean) to at most width characters. Empty timelines render "".
+func (t *Timeline) Spark(width int) string {
+	return Sparkline(t.samples, width)
+}
+
+// Sparkline renders any series as a sparkline of at most width characters.
+func Sparkline(samples []float64, width int) string {
+	if len(samples) == 0 || width <= 0 {
+		return ""
+	}
+	// Downsample by bucket mean.
+	vals := samples
+	if len(vals) > width {
+		buckets := make([]float64, width)
+		for i := range buckets {
+			lo := i * len(vals) / width
+			hi := (i + 1) * len(vals) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			sum := 0.0
+			for _, v := range vals[lo:hi] {
+				sum += v
+			}
+			buckets[i] = sum / float64(hi-lo)
+		}
+		vals = buckets
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Delta converts a monotonically increasing counter series into per-sample
+// increments (for turning cumulative counts into rates).
+func Delta(samples []float64) []float64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	out := make([]float64, len(samples))
+	prev := 0.0
+	for i, v := range samples {
+		out[i] = v - prev
+		prev = v
+	}
+	return out
+}

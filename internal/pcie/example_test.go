@@ -1,0 +1,39 @@
+package pcie_test
+
+import (
+	"fmt"
+
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Two transfers share a 10 GB/s link max-min fairly: each gets 5 GB/s until
+// the short one departs, then the long one speeds up.
+func ExampleFabric() {
+	eng := sim.NewEngine()
+	fb := pcie.NewFabric(eng)
+	link := fb.NewLink("pcie", units.GBps(10))
+
+	fb.Transfer(2_500_000_000, []*pcie.Link{link}, func(at sim.Time) {
+		fmt.Println("short transfer done at", at)
+	})
+	fb.Transfer(7_500_000_000, []*pcie.Link{link}, func(at sim.Time) {
+		fmt.Println("long transfer done at", at)
+	})
+	eng.Run()
+	// Output:
+	// short transfer done at 500.00ms
+	// long transfer done at 1.000s
+}
+
+// The Fig 3 trend: usable x16 bandwidth doubles per generation.
+func ExampleGeneration() {
+	for _, g := range []pcie.Generation{pcie.Gen3, pcie.Gen4, pcie.Gen5} {
+		fmt.Printf("%s: %s\n", g, g.SlotBandwidth(16))
+	}
+	// Output:
+	// PCIe 3.0: 15.75 GB/s
+	// PCIe 4.0: 31.51 GB/s
+	// PCIe 5.0: 63.02 GB/s
+}

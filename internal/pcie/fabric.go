@@ -1,0 +1,285 @@
+package pcie
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Link is a capacity-constrained segment of the I/O path: a PCIe slot, the
+// host's root-complex budget, a device's internal bandwidth, or a network
+// hop. Flows traversing a link share its capacity max-min fairly.
+type Link struct {
+	Name     string
+	capacity float64 // bytes/sec
+
+	// bytesMoved accumulates payload carried, for utilization reporting.
+	bytesMoved float64
+
+	// Scratch fields used during rate recomputation.
+	alloc    float64
+	unfrozen int
+}
+
+// Capacity reports the link's bandwidth.
+func (l *Link) Capacity() units.BytesPerSec { return units.BytesPerSec(l.capacity) }
+
+// SetCapacity changes the link bandwidth. Rates of in-flight flows are
+// re-shared on the next fabric event; callers that need the change to take
+// effect immediately should call Fabric.Rebalance.
+func (l *Link) SetCapacity(c units.BytesPerSec) { l.capacity = float64(c) }
+
+// BytesMoved reports the payload bytes carried so far.
+func (l *Link) BytesMoved() float64 { return l.bytesMoved }
+
+// Utilization reports mean utilization over [0, now].
+func (l *Link) Utilization(now sim.Time) float64 {
+	secs := now.Seconds()
+	if secs <= 0 || l.capacity <= 0 {
+		return 0
+	}
+	return l.bytesMoved / (l.capacity * secs)
+}
+
+// Flow is an in-progress transfer across a path of links. Its instantaneous
+// rate is the max-min fair share across every link it traverses, further
+// bounded by an optional per-flow cap (e.g. one RDMA queue pair's limit).
+type Flow struct {
+	path      []*Link
+	remaining float64
+	size      float64
+	rate      float64
+	cap       float64 // 0 = uncapped
+	done      func(at sim.Time)
+	frozen    bool // scratch during recompute
+	finished  bool
+}
+
+// Rate reports the flow's current fair-share rate in bytes/sec.
+func (f *Flow) Rate() units.BytesPerSec { return units.BytesPerSec(f.rate) }
+
+// Remaining reports the bytes not yet transferred.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Fabric is the fluid-flow bandwidth simulator. Transfers are modeled as
+// fluid flows whose rates are recomputed (progressive-filling max-min
+// fairness, honoring per-flow caps) whenever a flow starts or completes.
+type Fabric struct {
+	eng        *sim.Engine
+	links      []*Link
+	flows      []*Flow
+	lastUpdate sim.Time
+	next       sim.Handle
+	hasNext    bool
+}
+
+// NewFabric creates an empty fabric on the engine.
+func NewFabric(eng *sim.Engine) *Fabric {
+	return &Fabric{eng: eng, lastUpdate: eng.Now()}
+}
+
+// NewLink adds a link with the given capacity to the fabric.
+func (fb *Fabric) NewLink(name string, capacity units.BytesPerSec) *Link {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("pcie: link %q with non-positive capacity", name))
+	}
+	l := &Link{Name: name, capacity: float64(capacity)}
+	fb.links = append(fb.links, l)
+	return l
+}
+
+// ActiveFlows reports the number of in-flight transfers.
+func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
+
+// Transfer starts moving size bytes across path and calls done (if non-nil)
+// when the last byte lands. A zero/negative size completes immediately. An
+// empty path panics — latency-only waits belong on the engine directly.
+func (fb *Fabric) Transfer(size int64, path []*Link, done func(at sim.Time)) *Flow {
+	return fb.TransferCapped(size, 0, path, done)
+}
+
+// TransferCapped is Transfer with a per-flow rate cap (0 = uncapped).
+func (fb *Fabric) TransferCapped(size int64, rateCap units.BytesPerSec, path []*Link, done func(at sim.Time)) *Flow {
+	if len(path) == 0 {
+		panic("pcie: transfer with empty path")
+	}
+	f := &Flow{path: path, remaining: float64(size), size: float64(size), cap: float64(rateCap), done: done}
+	if f.remaining <= 0 {
+		f.finished = true
+		if done != nil {
+			fb.eng.Immediately(func() { done(fb.eng.Now()) })
+		}
+		return f
+	}
+	fb.advance()
+	fb.flows = append(fb.flows, f)
+	fb.rebalance()
+	return f
+}
+
+// Rebalance advances accounting to the current instant and recomputes all
+// flow rates. It is called automatically on flow arrival and completion;
+// call it manually after changing link capacities mid-flight.
+func (fb *Fabric) Rebalance() {
+	fb.advance()
+	fb.rebalance()
+}
+
+// advance integrates flow progress from lastUpdate to now.
+func (fb *Fabric) advance() {
+	now := fb.eng.Now()
+	dt := now.Sub(fb.lastUpdate).Seconds()
+	fb.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range fb.flows {
+		moved := f.rate * dt
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		for _, l := range f.path {
+			l.bytesMoved += moved
+		}
+	}
+}
+
+// rebalance recomputes max-min fair rates and schedules the next completion.
+func (fb *Fabric) rebalance() {
+	// Progressive filling. Reset scratch state.
+	for _, l := range fb.links {
+		l.alloc = 0
+		l.unfrozen = 0
+	}
+	unfrozen := 0
+	for _, f := range fb.flows {
+		f.frozen = false
+		f.rate = 0
+		unfrozen++
+		for _, l := range f.path {
+			l.unfrozen++
+		}
+	}
+	for unfrozen > 0 {
+		// Find the bottleneck share: the smallest per-flow headroom across
+		// links that still carry unfrozen flows.
+		share := math.Inf(1)
+		var bottleneck *Link
+		for _, l := range fb.links {
+			if l.unfrozen == 0 {
+				continue
+			}
+			head := (l.capacity - l.alloc) / float64(l.unfrozen)
+			if head < share {
+				share = head
+				bottleneck = l
+			}
+		}
+		if bottleneck == nil {
+			break // no unfrozen flow touches any link; cannot happen with non-empty paths
+		}
+		if share < 0 {
+			share = 0
+		}
+		// A capped flow below the bottleneck share freezes at its cap first.
+		var minCapFlow *Flow
+		for _, f := range fb.flows {
+			if f.frozen || f.cap <= 0 || f.cap >= share {
+				continue
+			}
+			if minCapFlow == nil || f.cap < minCapFlow.cap {
+				minCapFlow = f
+			}
+		}
+		if minCapFlow != nil {
+			fb.freeze(minCapFlow, minCapFlow.cap)
+			unfrozen--
+			continue
+		}
+		// Otherwise freeze every unfrozen flow crossing the bottleneck link.
+		for _, f := range fb.flows {
+			if f.frozen {
+				continue
+			}
+			crosses := false
+			for _, l := range f.path {
+				if l == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if crosses {
+				fb.freeze(f, share)
+				unfrozen--
+			}
+		}
+	}
+	fb.scheduleNext()
+}
+
+func (fb *Fabric) freeze(f *Flow, rate float64) {
+	f.frozen = true
+	f.rate = rate
+	for _, l := range f.path {
+		l.alloc += rate
+		l.unfrozen--
+	}
+}
+
+func (fb *Fabric) scheduleNext() {
+	if fb.hasNext {
+		fb.next.Cancel(fb.eng)
+		fb.hasNext = false
+	}
+	soonest := math.Inf(1)
+	for _, f := range fb.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / f.rate
+		if t < soonest {
+			soonest = t
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		return
+	}
+	// Ceil to the next nanosecond so that by the time the event fires every
+	// flow scheduled to finish has remaining <= 0 modulo float error.
+	delay := sim.Duration(math.Ceil(soonest * float64(sim.Second)))
+	if delay < 1 {
+		delay = 1
+	}
+	fb.next = fb.eng.After(delay, fb.onCompletion)
+	fb.hasNext = true
+}
+
+// completionEpsilon absorbs float rounding in remaining-byte accounting.
+const completionEpsilon = 1e-3
+
+func (fb *Fabric) onCompletion() {
+	fb.hasNext = false
+	fb.advance()
+	var still []*Flow
+	var completed []*Flow
+	for _, f := range fb.flows {
+		if f.remaining <= completionEpsilon {
+			f.remaining = 0
+			f.finished = true
+			completed = append(completed, f)
+		} else {
+			still = append(still, f)
+		}
+	}
+	fb.flows = still
+	fb.rebalance()
+	now := fb.eng.Now()
+	for _, f := range completed {
+		if f.done != nil {
+			f.done(now)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package pcie models the host's PCI Express interconnect: link capacities
+// per generation, and a fluid-flow fabric that shares bandwidth between
+// concurrent transfers with max-min fairness.
+//
+// The paper's core observation — a single far-memory device (7.9–46 GB/s)
+// cannot saturate the fabric (64 GB/s on PCIe 4.0 ×16, 128 GB/s on 5.0), so
+// multi-backend access is required for full data throughput — is entirely a
+// property of this layer.
+package pcie
+
+import "repro/internal/units"
+
+// Generation identifies a PCIe protocol generation.
+type Generation int
+
+// PCIe generations covered by Fig 3's bandwidth-trend plot.
+const (
+	Gen1 Generation = 1 + iota
+	Gen2
+	Gen3
+	Gen4
+	Gen5
+	Gen6
+)
+
+// Year reports the specification year used for the Fig 3 trend line.
+func (g Generation) Year() int {
+	switch g {
+	case Gen1:
+		return 2003
+	case Gen2:
+		return 2007
+	case Gen3:
+		return 2010
+	case Gen4:
+		return 2017
+	case Gen5:
+		return 2019
+	case Gen6:
+		return 2022
+	default:
+		return 0
+	}
+}
+
+// GTps reports the per-lane transfer rate in gigatransfers/second.
+func (g Generation) GTps() float64 {
+	switch g {
+	case Gen1:
+		return 2.5
+	case Gen2:
+		return 5
+	case Gen3:
+		return 8
+	case Gen4:
+		return 16
+	case Gen5:
+		return 32
+	case Gen6:
+		return 64
+	default:
+		return 0
+	}
+}
+
+func (g Generation) String() string {
+	names := map[Generation]string{Gen1: "PCIe 1.0", Gen2: "PCIe 2.0", Gen3: "PCIe 3.0",
+		Gen4: "PCIe 4.0", Gen5: "PCIe 5.0", Gen6: "PCIe 6.0"}
+	if s, ok := names[g]; ok {
+		return s
+	}
+	return "PCIe ?"
+}
+
+// encodingEfficiency reports the line-coding efficiency: 8b/10b for Gen1-2,
+// 128b/130b for Gen3-5, PAM4+FLIT (~1.0 payload efficiency) for Gen6.
+func (g Generation) encodingEfficiency() float64 {
+	switch g {
+	case Gen1, Gen2:
+		return 0.8
+	case Gen6:
+		return 1.0
+	default:
+		return 128.0 / 130.0
+	}
+}
+
+// LaneBandwidth reports the usable unidirectional bandwidth of one lane.
+func (g Generation) LaneBandwidth() units.BytesPerSec {
+	// GT/s × efficiency / 8 bits = GB/s per lane.
+	return units.GBps(g.GTps() * g.encodingEfficiency() / 8)
+}
+
+// SlotBandwidth reports the usable unidirectional bandwidth of a slot with
+// the given lane count (e.g. 16 for an Add-in-Card x16 slot).
+func (g Generation) SlotBandwidth(lanes int) units.BytesPerSec {
+	return units.BytesPerSec(float64(g.LaneBandwidth()) * float64(lanes))
+}
+
+// DuplexBandwidth reports the bidirectional (read+write) bandwidth of a slot,
+// which is how the paper quotes fabric capacity ("64 GB/s on PCIe 4.0 ×16").
+func (g Generation) DuplexBandwidth(lanes int) units.BytesPerSec {
+	return units.BytesPerSec(2 * float64(g.SlotBandwidth(lanes)))
+}

@@ -1,0 +1,51 @@
+package pcie
+
+import "testing"
+
+func TestGenerationTable(t *testing.T) {
+	// The trend the paper highlights: bandwidth doubles every generation,
+	// roughly every three years (Fig 3).
+	gens := []Generation{Gen1, Gen2, Gen3, Gen4, Gen5, Gen6}
+	prev := 0.0
+	for _, g := range gens {
+		bw := float64(g.SlotBandwidth(16))
+		if bw <= prev {
+			t.Fatalf("%v bandwidth %v not greater than previous %v", g, bw, prev)
+		}
+		if prev > 0 {
+			ratio := bw / prev
+			if ratio < 1.5 || ratio > 2.6 {
+				t.Fatalf("%v generation-over-generation ratio %.2f outside doubling trend", g, ratio)
+			}
+		}
+		prev = bw
+		if g.Year() == 0 {
+			t.Fatalf("%v missing year", g)
+		}
+	}
+}
+
+func TestGen4DuplexMatchesPaper(t *testing.T) {
+	// Paper: "64 GB/s on PCIe 4.0 ×16" (duplex).
+	got := Gen4.DuplexBandwidth(16).GB()
+	if got < 60 || got > 66 {
+		t.Fatalf("PCIe 4.0 x16 duplex = %.1f GB/s, want ~64", got)
+	}
+	// Paper: "PCIe 5.0 protocols can offer a bandwidth of 128 GB/s".
+	got5 := Gen5.DuplexBandwidth(16).GB()
+	if got5 < 120 || got5 > 132 {
+		t.Fatalf("PCIe 5.0 x16 duplex = %.1f GB/s, want ~128", got5)
+	}
+}
+
+func TestGenerationStrings(t *testing.T) {
+	if Gen4.String() != "PCIe 4.0" {
+		t.Fatalf("Gen4.String() = %q", Gen4.String())
+	}
+	if Generation(99).String() != "PCIe ?" {
+		t.Fatalf("unknown generation string = %q", Generation(99).String())
+	}
+	if Generation(99).GTps() != 0 || Generation(99).Year() != 0 {
+		t.Fatal("unknown generation should report zeros")
+	}
+}

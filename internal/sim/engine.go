@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// An event is a callback scheduled at a point in virtual time. Events at the
+// same instant fire in scheduling order (seq breaks ties), which keeps runs
+// deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	// index within the heap, or -1 once cancelled/popped.
+	index int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation driver: a virtual clock plus a
+// priority queue of pending events. An Engine is not safe for concurrent use;
+// each simulation run owns exactly one Engine and executes single-threaded,
+// which is what makes runs reproducible.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	// processed counts events executed, exposed for tests and runaway guards.
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have been executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Handle identifies a scheduled event so it can be cancelled before firing.
+type Handle struct {
+	ev *event
+}
+
+// Cancel removes the event from the engine if it has not fired yet and
+// reports whether it was still pending.
+func (h Handle) Cancel(e *Engine) bool {
+	if h.ev == nil || h.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.events, h.ev.index)
+	return true
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a bug in the caller's time arithmetic.
+func (e *Engine) At(t Time, fn func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Immediately schedules fn at the current instant, after any events already
+// queued for this instant.
+func (e *Engine) Immediately(fn func()) Handle {
+	return e.At(e.now, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its timestamp.
+// It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 || e.stopped {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t (even if the queue drained earlier).
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && !e.stopped && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Stop halts Run/RunUntil after the current event returns. Pending events
+// stay queued; a subsequent Run resumes them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Resume clears a previous Stop.
+func (e *Engine) Resume() { e.stopped = false }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.events) }

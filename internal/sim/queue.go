@@ -1,0 +1,61 @@
+package sim
+
+// Station models a multi-server queueing station: up to Servers requests are
+// in service simultaneously and the rest wait FIFO. It is the building block
+// for device channels (an SSD with 4 I/O channels is a Station with 4
+// servers) and for CPU run queues.
+type Station struct {
+	res *Resource
+	eng *Engine
+
+	// Served counts completed requests; BusyTime accumulates server-seconds
+	// of service, from which utilization can be derived.
+	Served   uint64
+	BusyTime Duration
+}
+
+// NewStation creates a station with the given number of parallel servers.
+func NewStation(eng *Engine, servers int) *Station {
+	return &Station{res: NewResource(eng, servers), eng: eng}
+}
+
+// Servers reports the current number of parallel servers.
+func (s *Station) Servers() int { return s.res.Capacity() }
+
+// SetServers changes the parallelism; in-flight requests are unaffected.
+func (s *Station) SetServers(n int) { s.res.Resize(n) }
+
+// QueueLength reports the number of waiting (not yet in service) requests.
+func (s *Station) QueueLength() int { return s.res.Waiting() }
+
+// InService reports the number of requests currently being served.
+func (s *Station) InService() int { return s.res.InUse() }
+
+// Submit enqueues a request needing the given service time. done, if non-nil,
+// fires at completion with the time the request spent waiting plus in service
+// (its sojourn time).
+func (s *Station) Submit(service Duration, done func(sojourn Duration)) {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	arrival := s.eng.Now()
+	s.res.Acquire(1, func() {
+		s.eng.After(service, func() {
+			s.res.Release(1)
+			s.Served++
+			s.BusyTime += service
+			if done != nil {
+				done(s.eng.Now().Sub(arrival))
+			}
+		})
+	})
+}
+
+// Utilization reports mean server utilization over the interval [0, now].
+func (s *Station) Utilization() float64 {
+	now := s.eng.Now()
+	if now == 0 || s.res.Capacity() == 0 {
+		return 0
+	}
+	return float64(s.BusyTime) / (float64(now) * float64(s.res.Capacity()))
+}

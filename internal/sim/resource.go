@@ -1,0 +1,116 @@
+package sim
+
+// Resource is a counted resource with a FIFO wait queue — the simulation
+// analogue of a semaphore. Device channels, CPU cores, and swap-channel slots
+// are all Resources. Acquisition is asynchronous: the callback fires (possibly
+// immediately, possibly at a later virtual time) once the units are granted.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []waiter
+	// maxQueue tracks the high-water mark of the wait queue for reporting.
+	maxQueue int
+}
+
+type waiter struct {
+	units int
+	fn    func()
+}
+
+// NewResource creates a resource with the given number of units. Capacity
+// must be positive.
+func NewResource(eng *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{eng: eng, capacity: capacity}
+}
+
+// Capacity reports the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse reports how many units are currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Waiting reports how many acquisitions are queued.
+func (r *Resource) Waiting() int { return len(r.waiters) }
+
+// MaxQueue reports the largest wait-queue length observed.
+func (r *Resource) MaxQueue() int { return r.maxQueue }
+
+// Acquire requests units and invokes fn once they are granted. Requests are
+// served strictly FIFO: a large request at the head blocks smaller ones
+// behind it (no starvation). Requesting more units than the capacity panics.
+func (r *Resource) Acquire(units int, fn func()) {
+	if units <= 0 {
+		panic("sim: acquire of non-positive units")
+	}
+	if units > r.capacity {
+		panic("sim: acquire exceeds resource capacity")
+	}
+	if len(r.waiters) == 0 && r.inUse+units <= r.capacity {
+		r.inUse += units
+		// Run via the event queue so callers observe consistent ordering
+		// whether or not the acquisition had to wait.
+		r.eng.Immediately(fn)
+		return
+	}
+	r.waiters = append(r.waiters, waiter{units: units, fn: fn})
+	if len(r.waiters) > r.maxQueue {
+		r.maxQueue = len(r.waiters)
+	}
+}
+
+// TryAcquire grabs units immediately if available, bypassing the queue, and
+// reports whether it succeeded.
+func (r *Resource) TryAcquire(units int) bool {
+	if units <= 0 || units > r.capacity {
+		return false
+	}
+	if len(r.waiters) == 0 && r.inUse+units <= r.capacity {
+		r.inUse += units
+		return true
+	}
+	return false
+}
+
+// Release returns units to the resource and admits as many queued waiters as
+// now fit, in FIFO order.
+func (r *Resource) Release(units int) {
+	if units <= 0 {
+		panic("sim: release of non-positive units")
+	}
+	if units > r.inUse {
+		panic("sim: release exceeds units in use")
+	}
+	r.inUse -= units
+	for len(r.waiters) > 0 {
+		head := r.waiters[0]
+		if r.inUse+head.units > r.capacity {
+			break
+		}
+		r.inUse += head.units
+		r.waiters = r.waiters[1:]
+		r.eng.Immediately(head.fn)
+	}
+}
+
+// Resize changes the capacity. Growing admits queued waiters; shrinking below
+// the units in use is allowed (the overage drains as holders release).
+func (r *Resource) Resize(capacity int) {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	r.capacity = capacity
+	// Admit whoever now fits.
+	for len(r.waiters) > 0 {
+		head := r.waiters[0]
+		if head.units > r.capacity || r.inUse+head.units > r.capacity {
+			break
+		}
+		r.inUse += head.units
+		r.waiters = r.waiters[1:]
+		r.eng.Immediately(head.fn)
+	}
+}

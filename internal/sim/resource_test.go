@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceImmediateGrant(t *testing.T) {
+	eng := NewEngine()
+	r := NewResource(eng, 2)
+	granted := 0
+	r.Acquire(1, func() { granted++ })
+	r.Acquire(1, func() { granted++ })
+	eng.Run()
+	if granted != 2 {
+		t.Fatalf("granted=%d, want 2", granted)
+	}
+	if r.InUse() != 2 {
+		t.Fatalf("inUse=%d, want 2", r.InUse())
+	}
+}
+
+func TestResourceQueueing(t *testing.T) {
+	eng := NewEngine()
+	r := NewResource(eng, 1)
+	var order []int
+	r.Acquire(1, func() {
+		order = append(order, 1)
+		eng.After(10, func() { r.Release(1) })
+	})
+	r.Acquire(1, func() {
+		order = append(order, 2)
+		r.Release(1)
+	})
+	r.Acquire(1, func() { order = append(order, 3) })
+	eng.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("FIFO violated: %v", order)
+	}
+}
+
+func TestResourceLargeRequestBlocksSmall(t *testing.T) {
+	eng := NewEngine()
+	r := NewResource(eng, 4)
+	var order []string
+	r.Acquire(3, func() {
+		order = append(order, "big1")
+		eng.After(10, func() { r.Release(3) })
+	})
+	// big2 needs 3 units: only 1 free, so it queues. small needs 1 and could
+	// fit, but FIFO means it must wait behind big2.
+	r.Acquire(3, func() {
+		order = append(order, "big2")
+		r.Release(3)
+	})
+	r.Acquire(1, func() { order = append(order, "small") })
+	eng.Run()
+	want := []string{"big1", "big2", "small"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order=%v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	eng := NewEngine()
+	r := NewResource(eng, 2)
+	if !r.TryAcquire(2) {
+		t.Fatal("TryAcquire(2) on empty resource failed")
+	}
+	if r.TryAcquire(1) {
+		t.Fatal("TryAcquire(1) on full resource succeeded")
+	}
+	r.Release(1)
+	if !r.TryAcquire(1) {
+		t.Fatal("TryAcquire(1) after release failed")
+	}
+}
+
+func TestResourceResizeAdmitsWaiters(t *testing.T) {
+	eng := NewEngine()
+	r := NewResource(eng, 1)
+	got := 0
+	r.Acquire(1, func() { got++ })
+	r.Acquire(1, func() { got++ })
+	r.Acquire(1, func() { got++ })
+	eng.Run()
+	if got != 1 {
+		t.Fatalf("got=%d before resize, want 1", got)
+	}
+	r.Resize(3)
+	eng.Run()
+	if got != 3 {
+		t.Fatalf("got=%d after resize, want 3", got)
+	}
+}
+
+func TestResourcePanics(t *testing.T) {
+	eng := NewEngine()
+	r := NewResource(eng, 1)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero capacity", func() { NewResource(eng, 0) })
+	mustPanic("acquire 0", func() { r.Acquire(0, func() {}) })
+	mustPanic("acquire > capacity", func() { r.Acquire(2, func() {}) })
+	mustPanic("release without acquire", func() { r.Release(1) })
+}
+
+// Property: a random schedule of acquires and releases never exceeds
+// capacity and eventually grants every request.
+func TestResourceConservationProperty(t *testing.T) {
+	f := func(unitSeeds []uint8, capSeed uint8) bool {
+		capacity := int(capSeed%8) + 1
+		eng := NewEngine()
+		r := NewResource(eng, capacity)
+		granted := 0
+		holdOK := true
+		for _, us := range unitSeeds {
+			units := int(us)%capacity + 1
+			hold := Duration(us%17) + 1
+			r.Acquire(units, func() {
+				granted++
+				if r.InUse() > r.Capacity() {
+					holdOK = false
+				}
+				eng.After(hold, func() { r.Release(units) })
+			})
+		}
+		eng.Run()
+		return holdOK && granted == len(unitSeeds) && r.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStationParallelism(t *testing.T) {
+	eng := NewEngine()
+	st := NewStation(eng, 2)
+	var done []Duration
+	for i := 0; i < 4; i++ {
+		st.Submit(10, func(sojourn Duration) { done = append(done, sojourn) })
+	}
+	eng.Run()
+	// Two run at [0,10], two wait and run at [10,20]: sojourns 10,10,20,20.
+	if len(done) != 4 {
+		t.Fatalf("completed %d, want 4", len(done))
+	}
+	if done[0] != 10 || done[1] != 10 || done[2] != 20 || done[3] != 20 {
+		t.Fatalf("sojourns=%v", done)
+	}
+	if st.Served != 4 {
+		t.Fatalf("Served=%d", st.Served)
+	}
+	if st.BusyTime != 40 {
+		t.Fatalf("BusyTime=%v", st.BusyTime)
+	}
+}
+
+func TestStationUtilization(t *testing.T) {
+	eng := NewEngine()
+	st := NewStation(eng, 1)
+	st.Submit(50, nil)
+	eng.RunUntil(100)
+	if u := st.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization=%v, want ~0.5", u)
+	}
+}
+
+func TestStationSetServers(t *testing.T) {
+	eng := NewEngine()
+	st := NewStation(eng, 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		st.Submit(10, func(Duration) { finish = append(finish, eng.Now()) })
+	}
+	st.SetServers(3)
+	eng.Run()
+	// With 3 servers all finish at t=10.
+	for _, f := range finish {
+		if f != 10 {
+			t.Fatalf("finish times %v, want all 10", finish)
+		}
+	}
+}

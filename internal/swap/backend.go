@@ -1,0 +1,189 @@
+// Package swap implements the data-swap machinery: far-memory swap backends
+// wrapping device models, swap channels (shared, isolated, or VM-isolated),
+// and swap paths that compose a backend with a channel and an optional
+// hierarchical host hop.
+//
+// The paper's two structural insights live here:
+//
+//   - Path shape: traditional VM-hosted far memory swaps hierarchically
+//     (guest swap → host swap → device), paying a second copy and a shared
+//     host-side stage per operation. xDM's frontswap-style frontend redirects
+//     guest page-outs straight to the backend (host bypass).
+//
+//   - Channel shape: traditional swap uses one shared channel per host, so
+//     co-located tasks contend; xDM gives each VM an isolated channel.
+package swap
+
+import (
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Extent describes one swap I/O: a run of contiguous pages moving between
+// local memory and a backend.
+type Extent struct {
+	Pages      int
+	Write      bool
+	Sequential bool
+}
+
+// Bytes reports the extent's payload size.
+func (e Extent) Bytes() int64 { return int64(e.Pages) * units.PageSize }
+
+// Backend is a far-memory swap target.
+type Backend interface {
+	// Name identifies the backend instance.
+	Name() string
+	// Kind reports the underlying medium.
+	Kind() device.Kind
+	// CostPerGB is the relative hardware cost, the MEI denominator.
+	CostPerGB() float64
+	// Bandwidth is the device's peak bandwidth.
+	Bandwidth() units.BytesPerSec
+	// Width reports the current I/O width (parallel channels).
+	Width() int
+	// SetWidth adjusts the I/O width.
+	SetWidth(w int)
+	// Submit performs the extent transfer; done fires with its latency.
+	Submit(ex Extent, done func(lat sim.Duration))
+}
+
+// channelOverhead is the per-operation management cost of each extra I/O
+// channel (request splitting, queue-pair doorbells, interrupt spreading).
+// This is what makes wide I/O counterproductive for random-dominated tasks
+// (Fig 5b / Fig 11): the overhead is paid per op, while the striping benefit
+// only materializes for large sequential extents.
+func channelOverhead(k device.Kind) sim.Duration {
+	switch k {
+	case device.SSD, device.HDD:
+		return 2500 * sim.Nanosecond
+	case device.RDMA, device.DPU:
+		return 180 * sim.Nanosecond
+	default: // DRAM-class media have almost free queue management
+		return 60 * sim.Nanosecond
+	}
+}
+
+// minStripePages reports the smallest worthwhile stripe for a device:
+// pages such that transfer time at the per-channel rate is at least twice
+// the read latency, clamped to [4, 64].
+func minStripePages(spec device.Spec) int {
+	bw := float64(spec.ChannelBandwidth)
+	if bw <= 0 {
+		bw = float64(spec.Bandwidth)
+	}
+	bytes := 2 * spec.ReadLatency.Seconds() * bw
+	pages := int(bytes / float64(units.PageSize))
+	if pages < 4 {
+		pages = 4
+	}
+	if pages > 64 {
+		pages = 64
+	}
+	return pages
+}
+
+// DeviceBackend adapts a simulated device into a swap backend, adding
+// extent striping across the device's I/O channels.
+type DeviceBackend struct {
+	eng *sim.Engine
+	dev *device.Device
+
+	// pending counts extents submitted but not yet completed, for
+	// least-loaded routing in AggregateBackend.
+	pending int
+}
+
+// Pending reports extents in flight on this backend.
+func (b *DeviceBackend) Pending() int { return b.pending }
+
+// NewDeviceBackend wraps dev as a swap backend.
+func NewDeviceBackend(eng *sim.Engine, dev *device.Device) *DeviceBackend {
+	return &DeviceBackend{eng: eng, dev: dev}
+}
+
+// Device exposes the wrapped device for stats inspection.
+func (b *DeviceBackend) Device() *device.Device { return b.dev }
+
+// Name implements Backend.
+func (b *DeviceBackend) Name() string { return b.dev.Name() }
+
+// Kind implements Backend.
+func (b *DeviceBackend) Kind() device.Kind { return b.dev.Kind() }
+
+// CostPerGB implements Backend.
+func (b *DeviceBackend) CostPerGB() float64 { return b.dev.Spec().CostPerGB }
+
+// Bandwidth implements Backend.
+func (b *DeviceBackend) Bandwidth() units.BytesPerSec { return b.dev.Spec().Bandwidth }
+
+// Width implements Backend.
+func (b *DeviceBackend) Width() int { return b.dev.Channels() }
+
+// SetWidth implements Backend.
+func (b *DeviceBackend) SetWidth(w int) {
+	if w < 1 {
+		w = 1
+	}
+	b.dev.SetChannels(w)
+}
+
+// Submit implements Backend. Extents larger than one page are striped across
+// up to Width() parallel sub-operations; every operation pays the per-channel
+// management overhead for the configured width.
+func (b *DeviceBackend) Submit(ex Extent, done func(lat sim.Duration)) {
+	if ex.Pages <= 0 {
+		panic("swap: extent with no pages")
+	}
+	start := b.eng.Now()
+	width := b.dev.Channels()
+	mgmt := sim.Duration(width-1) * channelOverhead(b.dev.Kind())
+
+	// Stripe across channels, but keep each sub-op large enough that its
+	// transfer time is at least ~2x the device's base latency — smaller
+	// stripes would spend the stripe mostly on per-op latency. The
+	// threshold is therefore device-dependent: a 3µs RDMA NIC stripes
+	// 32 KiB chunks profitably; a 75µs SSD wants >= 128 KiB.
+	minStripe := minStripePages(b.dev.Spec())
+	stripes := width
+	if byLatency := ex.Pages / minStripe; stripes > byLatency {
+		stripes = byLatency
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	if ex.Pages < stripes {
+		stripes = ex.Pages
+	}
+	base := ex.Pages / stripes
+	extra := ex.Pages % stripes
+
+	b.pending++
+	remaining := stripes
+	finish := func(sim.Duration) {
+		remaining--
+		if remaining == 0 {
+			b.pending--
+			if done != nil {
+				done(b.eng.Now().Sub(start))
+			}
+		}
+	}
+	b.eng.After(mgmt, func() {
+		for i := 0; i < stripes; i++ {
+			pages := base
+			if i < extra {
+				pages++
+			}
+			op := device.Op{
+				Write: ex.Write,
+				Size:  int64(pages) * units.PageSize,
+				// Striped sub-ops of a sequential extent remain sequential
+				// within their channel; random extents stay random.
+				Sequential: ex.Sequential,
+			}
+			b.dev.Submit(op, finish)
+		}
+	})
+}

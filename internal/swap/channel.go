@@ -1,0 +1,57 @@
+package swap
+
+import "repro/internal/sim"
+
+// Channel is a swap channel: the bounded set of in-flight swap operations a
+// swap frontend allows. Isolation policy is expressed by who shares a
+// Channel instance:
+//
+//   - shared swap (Linux swap, Fastswap): one Channel per host, all tasks
+//     contend on it (Fig 17's worst case);
+//   - isolated swap (Canvas): one Channel per application;
+//   - vm-isolated swap (xDM): one Channel per VM.
+type Channel struct {
+	name string
+	res  *sim.Resource
+
+	// Ops and QueueWait measure per-op contention for Fig 17.
+	Ops       uint64
+	QueueWait sim.Duration
+	eng       *sim.Engine
+}
+
+// NewChannel creates a swap channel admitting depth concurrent operations.
+func NewChannel(eng *sim.Engine, name string, depth int) *Channel {
+	return &Channel{name: name, res: sim.NewResource(eng, depth), eng: eng}
+}
+
+// Name reports the channel's name.
+func (c *Channel) Name() string { return c.name }
+
+// Depth reports the concurrency limit.
+func (c *Channel) Depth() int { return c.res.Capacity() }
+
+// SetDepth adjusts the concurrency limit.
+func (c *Channel) SetDepth(d int) { c.res.Resize(d) }
+
+// Enter admits one operation, calling fn when a slot frees up. The caller
+// must call Leave exactly once when the operation completes.
+func (c *Channel) Enter(fn func()) {
+	start := c.eng.Now()
+	c.res.Acquire(1, func() {
+		c.Ops++
+		c.QueueWait += c.eng.Now().Sub(start)
+		fn()
+	})
+}
+
+// Leave releases the operation's slot.
+func (c *Channel) Leave() { c.res.Release(1) }
+
+// MeanQueueWait reports the average time ops spent waiting for admission.
+func (c *Channel) MeanQueueWait() sim.Duration {
+	if c.Ops == 0 {
+		return 0
+	}
+	return c.QueueWait / sim.Duration(c.Ops)
+}

@@ -1,0 +1,148 @@
+package swap
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Swap-path cost constants, calibrated to kernel-level measurements the
+// paper's environment implies.
+const (
+	// FrontendOverhead is the guest kernel's page-fault + swap-entry cost
+	// per operation (do_swap_page, frontswap hook).
+	FrontendOverhead = 1500 * sim.Nanosecond
+
+	// HostHopOverhead is the fixed extra cost of the hierarchical path: a
+	// second fault in the host, host swap-cache management, and scheduling
+	// the host's swap worker.
+	HostHopOverhead = 3500 * sim.Nanosecond
+
+	// HostCopyPerPage is the guest-to-host buffer copy cost per 4 KiB page
+	// on the hierarchical path.
+	HostCopyPerPage = 350 * sim.Nanosecond
+
+	// DefaultHostWorkers is the host-side swap worker parallelism
+	// (kswapd-like threads) shared by all VMs on the hierarchical path.
+	DefaultHostWorkers = 4
+)
+
+// HostSwapStage is the host operating system's swap layer, shared by every
+// VM on the machine when the hierarchical path is used.
+type HostSwapStage struct {
+	station *sim.Station
+}
+
+// NewHostSwapStage creates the host stage with the given worker parallelism.
+func NewHostSwapStage(eng *sim.Engine, workers int) *HostSwapStage {
+	return &HostSwapStage{station: sim.NewStation(eng, workers)}
+}
+
+// Path is a fully composed far-memory access path: frontend overhead, an
+// admission channel, optionally the hierarchical host hop, and the backend.
+type Path struct {
+	eng     *sim.Engine
+	backend Backend
+	channel *Channel
+
+	// hierarchical routes every op through the shared host swap stage,
+	// paying HostHopOverhead plus a per-page copy. Nil hostStage with
+	// hierarchical=true panics at Submit.
+	hierarchical bool
+	hostStage    *HostSwapStage
+
+	// Stats.
+	SwapIns   metrics.Counter
+	SwapOuts  metrics.Counter
+	PagesIn   uint64
+	PagesOut  uint64
+	InLatency metrics.Summary // per swap-in op latency, µs
+}
+
+// NewPath builds a host-bypass path (xDM's shape): frontend → channel →
+// backend.
+func NewPath(eng *sim.Engine, backend Backend, channel *Channel) *Path {
+	return &Path{eng: eng, backend: backend, channel: channel}
+}
+
+// NewHierarchicalPath builds the traditional VM path: frontend → channel →
+// host swap stage → backend.
+func NewHierarchicalPath(eng *sim.Engine, backend Backend, channel *Channel, host *HostSwapStage) *Path {
+	if host == nil {
+		panic("swap: hierarchical path requires a host stage")
+	}
+	return &Path{eng: eng, backend: backend, channel: channel, hierarchical: true, hostStage: host}
+}
+
+// Backend reports the path's backend.
+func (p *Path) Backend() Backend { return p.backend }
+
+// Channel reports the path's admission channel.
+func (p *Path) Channel() *Channel { return p.channel }
+
+// Hierarchical reports whether the path routes through the host.
+func (p *Path) Hierarchical() bool { return p.hierarchical }
+
+// SwapIn fetches an extent from far memory; done fires with the operation's
+// end-to-end latency (admission wait included).
+func (p *Path) SwapIn(ex Extent, done func(lat sim.Duration)) {
+	ex.Write = false
+	p.submit(ex, done)
+}
+
+// SwapOut writes an extent to far memory; done fires with its latency.
+// Callers model asynchronous writeback by simply not blocking on done.
+func (p *Path) SwapOut(ex Extent, done func(lat sim.Duration)) {
+	ex.Write = true
+	p.submit(ex, done)
+}
+
+func (p *Path) submit(ex Extent, done func(lat sim.Duration)) {
+	start := p.eng.Now()
+	finish := func() {
+		lat := p.eng.Now().Sub(start)
+		if ex.Write {
+			p.SwapOuts.Inc()
+			p.PagesOut += uint64(ex.Pages)
+		} else {
+			p.SwapIns.Inc()
+			p.PagesIn += uint64(ex.Pages)
+			p.InLatency.Add(lat.Microseconds())
+		}
+		if done != nil {
+			done(lat)
+		}
+	}
+	// Write-back is asynchronous in the kernel (kswapd / dedicated eviction
+	// workers): it does not occupy a fault-path admission slot. Reads (page
+	// faults) are admitted through the channel; both directions still
+	// contend at the device and, on hierarchical paths, at the host stage.
+	if ex.Write {
+		p.eng.After(FrontendOverhead, func() {
+			p.dispatch(ex, finish)
+		})
+		return
+	}
+	p.channel.Enter(func() {
+		p.eng.After(FrontendOverhead, func() {
+			p.dispatch(ex, func() {
+				p.channel.Leave()
+				finish()
+			})
+		})
+	})
+}
+
+// dispatch routes the extent to the backend, via the host stage when
+// hierarchical.
+func (p *Path) dispatch(ex Extent, done func()) {
+	if !p.hierarchical {
+		p.backend.Submit(ex, func(sim.Duration) { done() })
+		return
+	}
+	// Hierarchical: host hop (shared stage) + per-page copy, then the host
+	// performs the device operation.
+	hostWork := HostHopOverhead + sim.Duration(ex.Pages)*HostCopyPerPage
+	p.hostStage.station.Submit(hostWork, func(sim.Duration) {
+		p.backend.Submit(ex, func(sim.Duration) { done() })
+	})
+}

@@ -1,0 +1,107 @@
+package swap
+
+// SlotAllocator manages a swap device's slot space the way the kernel's
+// swap_map does: slots are handed out in scan order (so write-back order
+// determines slot adjacency), freed slots are recycled lazily, and the
+// allocator can answer "which pages live in the slot cluster around slot
+// s?" — the exact question swap readahead asks.
+//
+// Slot adjacency equals eviction-time adjacency. For a single sequential
+// evictor, slot clusters coincide with address clusters; with many threads
+// interleaving evictions, clusters become a shuffle of all their streams.
+// That difference is why kernel swap readahead degrades under concurrency
+// while an address-space reader does not.
+type SlotAllocator struct {
+	// seq is the slot array: seq[slot] = page id, or -1 when stale/free.
+	seq []int32
+	// slotOf maps page id → its current slot (-1 = none).
+	slotOf []int32
+	// live counts non-stale slots, for occupancy reporting.
+	live int
+	// recycled counts slots reused from the free pool.
+	recycled int
+	// free holds recycled slot indices awaiting reuse.
+	free []int32
+}
+
+// NewSlotAllocator creates an allocator for an address space of n pages.
+func NewSlotAllocator(n int) *SlotAllocator {
+	a := &SlotAllocator{slotOf: make([]int32, n)}
+	for i := range a.slotOf {
+		a.slotOf[i] = -1
+	}
+	return a
+}
+
+// Assign gives page its next slot (recycling a freed slot when available),
+// invalidating any previous slot the page held. It returns the slot index.
+func (a *SlotAllocator) Assign(page int32) int32 {
+	if old := a.slotOf[page]; old >= 0 {
+		a.seq[old] = -1
+		a.live--
+	}
+	var slot int32
+	if len(a.free) > 0 {
+		slot = a.free[len(a.free)-1]
+		a.free = a.free[:len(a.free)-1]
+		a.seq[slot] = page
+		a.recycled++
+	} else {
+		slot = int32(len(a.seq))
+		a.seq = append(a.seq, page)
+	}
+	a.slotOf[page] = slot
+	a.live++
+	return slot
+}
+
+// Release frees page's slot (after a swap-in invalidates it, or at exit).
+// Releasing a page without a slot is a no-op.
+func (a *SlotAllocator) Release(page int32) {
+	slot := a.slotOf[page]
+	if slot < 0 {
+		return
+	}
+	a.seq[slot] = -1
+	a.slotOf[page] = -1
+	a.free = append(a.free, slot)
+	a.live--
+}
+
+// SlotOf reports page's current slot, or -1.
+func (a *SlotAllocator) SlotOf(page int32) int32 { return a.slotOf[page] }
+
+// Live reports the number of occupied slots.
+func (a *SlotAllocator) Live() int { return a.live }
+
+// Recycled reports how many allocations reused a freed slot.
+func (a *SlotAllocator) Recycled() int { return a.recycled }
+
+// SlotSpan reports the total slot-space extent (high-water mark), from
+// which fragmentation = 1 - Live/SlotSpan.
+func (a *SlotAllocator) SlotSpan() int { return len(a.seq) }
+
+// Cluster returns up to max pages from the aligned slot cluster around
+// page's slot — kernel swap-readahead semantics. The faulting page is
+// always first. Pages failing the want filter (already resident, not
+// swapped) are skipped. If the page has no slot, only the page itself is
+// returned.
+func (a *SlotAllocator) Cluster(page int32, max int, want func(int32) bool) []int32 {
+	fetch := []int32{page}
+	si := a.slotOf[page]
+	if si < 0 || max <= 1 {
+		return fetch
+	}
+	base := si - si%int32(max)
+	end := base + int32(max)
+	if end > int32(len(a.seq)) {
+		end = int32(len(a.seq))
+	}
+	for s := base; s < end && len(fetch) < max; s++ {
+		id := a.seq[s]
+		if id >= 0 && id != page && want(id) {
+			fetch = append(fetch, id)
+		}
+	}
+	return fetch
+}

@@ -1,0 +1,577 @@
+// Package task executes a synthetic workload stream against the simulated
+// memory subsystem: it walks the access trace, touches resident pages at
+// NUMA latency, takes minor faults for first-touch allocations, takes major
+// faults through a swap path for far-memory pages, runs cgroup-driven
+// reclaim with asynchronous write-back, and accounts user time and kernel
+// (sys) time separately — the paper evaluates swap performance by sys time.
+package task
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/swap"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Kernel cost constants for the fault and reclaim paths.
+const (
+	// minorFaultCost is a zero-fill first-touch anonymous fault.
+	minorFaultCost = 600 * sim.Nanosecond
+	// reclaimPerPage is the CPU cost of unmapping + LRU bookkeeping per
+	// reclaimed page.
+	reclaimPerPage = 250 * sim.Nanosecond
+	// maxOutstandingWritebacks bounds in-flight write-back extents per task,
+	// modeling the kernel's dirty throttling.
+	maxOutstandingWritebacks = 32
+
+	// THP model (Sec IV-B): accesses to huge-backed pages skip most TLB
+	// misses, saving tlbSaving per access; reclaiming a huge-backed page
+	// first splits it, costing hugeSplitCost extra.
+	tlbSaving     = 40 * sim.Nanosecond
+	hugeSplitCost = 900 * sim.Nanosecond
+	hugeExtentMin = 64 // pages fetched contiguously to be THP-backed
+)
+
+// Config assembles everything a task run needs.
+type Config struct {
+	Eng  *sim.Engine
+	Name string
+
+	// Spec and Seed define the workload; the stream is created internally.
+	Spec workload.Spec
+	Seed int64
+
+	// LocalRatio is the cgroup's resident share of the footprint (1 - far
+	// memory ratio). The paper sweeps this between 0.1 and 1.0.
+	LocalRatio float64
+
+	// SwapPath carries anonymous pages to/from far memory.
+	SwapPath *swap.Path
+	// FilePath carries file-backed pages to/from their backing store
+	// (normally the node's SSD, regardless of the swap backend).
+	FilePath *swap.Path
+
+	// GranularityPages is the swap-in transfer unit in pages (1 = plain 4K,
+	// 512 = THP-like 2M extents). Clamped to at least 1.
+	GranularityPages int
+	// AlignedReadahead selects the kernel's slot-cluster semantics: the
+	// fetch window is aligned around the faulting page (half of it behind
+	// the access cursor). When false, the window looks forward from the
+	// fault, as xDM's custom far-memory read functions do.
+	AlignedReadahead bool
+	// AdaptiveWindow makes the reader fetch the full granularity only on
+	// faults that continue a sequential run; isolated random faults fetch an
+	// aligned cluster of RandomWindowPages instead. The kernel's swap
+	// readahead lacks this check (it reads the whole cluster
+	// unconditionally), which is part of what the paper's per-path
+	// granularity configuration fixes.
+	AdaptiveWindow bool
+	// RandomWindowPages is the adaptive reader's cluster size for
+	// non-sequential faults (default 1). High-latency media keep a small
+	// cluster — spatial locality still amortizes the operation cost.
+	RandomWindowPages int
+	// UseTHP enables transparent-huge-page backing (khugepaged-style): anon
+	// extents of at least 64 contiguous pages are huge-backed, trading TLB
+	// savings on access against page-split cost at reclaim (Sec IV-B's
+	// granularity trade-off).
+	UseTHP bool
+	// FileReadaheadPages is the file-refault readahead window (default 16).
+	FileReadaheadPages int
+
+	// Topo, NUMAPolicy and CPUNode control local page placement. Topo may
+	// be nil, in which case an unconstrained single-node topology is built.
+	Topo       *mem.Topology
+	NUMAPolicy mem.NUMAPolicy
+	CPUNode    int8
+
+	// Sources, when non-nil, replaces the spec-derived access streams: one
+	// source per thread (Threads is then ignored). Used for phased
+	// workloads and custom traces.
+	Sources []workload.AccessSource
+
+	// Trace, when non-nil, observes every access (the page trace table).
+	Trace *trace.Table
+
+	// EpochAccesses, when > 0, invokes OnEpoch every that many main-phase
+	// accesses — the hook xDM's console uses for online retuning.
+	EpochAccesses int
+	OnEpoch       func(t *Task)
+}
+
+// Stats is the outcome of one task run.
+type Stats struct {
+	Runtime  sim.Duration
+	UserTime sim.Duration
+	SysTime  sim.Duration
+
+	Accesses       uint64
+	MinorFaults    uint64
+	MajorFaults    uint64
+	FileRefaults   uint64
+	PrefetchHits   uint64
+	ReclaimedPages uint64
+	PagesIn        uint64
+	PagesOut       uint64
+
+	// THP accounting.
+	HugeBackedPages uint64
+	HugeSplits      uint64
+}
+
+// BytesSwapped reports total swap traffic in bytes.
+func (s Stats) BytesSwapped() float64 {
+	return float64(s.PagesIn+s.PagesOut) * 4096
+}
+
+// worker is one execution thread of a task: its own access source and
+// sequential-fault detector, sharing the task's address space.
+type worker struct {
+	stream    workload.AccessSource
+	lastFault int32
+}
+
+// Task is one running workload instance, possibly multi-threaded
+// (Spec.Threads): worker threads share the page set, cgroup, and swap path,
+// and their faults overlap — which is what loads multiple backend channels
+// concurrently.
+type Task struct {
+	cfg     Config
+	eng     *sim.Engine
+	workers []*worker
+	running int
+	ps      *mem.PageSet
+	cg      *mem.Cgroup
+	topo    *mem.Topology
+
+	granularity int
+	fileRA      int
+
+	// slotValid marks anonymous pages whose far-memory copy is current.
+	slotValid []bool
+	// slots is the swap device's slot space. Kernel readahead reads *slot*
+	// neighborhoods, which only coincide with address neighborhoods when
+	// one thread evicts sequentially.
+	slots *swap.SlotAllocator
+	// prefetched marks resident pages brought in by readahead, not demand.
+	prefetched []bool
+
+	wbTokens *sim.Resource
+
+	sinceEpoch int
+	start      sim.Time
+	stats      Stats
+	started    bool
+	done       func(Stats)
+	finished   bool
+}
+
+// New builds a task from cfg. The page set's file-backed range is the first
+// (1-AnonFraction) of the footprint, matching the workload generators.
+func New(cfg Config) *Task {
+	if cfg.Eng == nil {
+		panic("task: nil engine")
+	}
+	if cfg.SwapPath == nil {
+		panic("task: nil swap path")
+	}
+	if cfg.GranularityPages < 1 {
+		cfg.GranularityPages = 1
+	}
+	if cfg.FileReadaheadPages < 1 {
+		cfg.FileReadaheadPages = 16
+	}
+	if cfg.RandomWindowPages < 1 {
+		cfg.RandomWindowPages = 1
+	}
+	if cfg.FilePath == nil {
+		cfg.FilePath = cfg.SwapPath
+	}
+	n := cfg.Spec.FootprintPages
+	ps := mem.NewPageSet(n)
+	filePages := int32(float64(n) * (1 - cfg.Spec.AnonFraction))
+	ps.SetType(0, filePages, mem.FileBacked)
+
+	cg := mem.NewCgroupRatio(ps, cfg.LocalRatio)
+
+	topo := cfg.Topo
+	if topo == nil {
+		topo = mem.NewTopology(n + 1) // unconstrained
+	}
+
+	threads := cfg.Spec.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	t := &Task{
+		cfg:         cfg,
+		eng:         cfg.Eng,
+		ps:          ps,
+		cg:          cg,
+		topo:        topo,
+		granularity: cfg.GranularityPages,
+		fileRA:      cfg.FileReadaheadPages,
+		slotValid:   make([]bool, n),
+		slots:       swap.NewSlotAllocator(n),
+		prefetched:  make([]bool, n),
+		wbTokens:    sim.NewResource(cfg.Eng, maxOutstandingWritebacks),
+	}
+	if len(cfg.Sources) > 0 {
+		for _, src := range cfg.Sources {
+			t.workers = append(t.workers, &worker{stream: src, lastFault: -2})
+		}
+		return t
+	}
+	per := cfg.Spec.MainAccesses / threads
+	if per < 1 {
+		per = 1
+	}
+	for i := 0; i < threads; i++ {
+		st := workload.NewStream(cfg.Spec, cfg.Seed+int64(i)*7919)
+		st.SetMainAccesses(per)
+		if i > 0 {
+			// Thread 0 performs the allocation sweep for the shared space.
+			st.SkipInit()
+		}
+		t.workers = append(t.workers, &worker{stream: st, lastFault: -2})
+	}
+	return t
+}
+
+// PageSet exposes the task's page table (read-only use expected).
+func (t *Task) PageSet() *mem.PageSet { return t.ps }
+
+// Cgroup exposes the task's memory limit.
+func (t *Task) Cgroup() *mem.Cgroup { return t.cg }
+
+// SwapPath exposes the task's current swap path.
+func (t *Task) SwapPath() *swap.Path { return t.cfg.SwapPath }
+
+// Granularity reports the current swap-in unit in pages.
+func (t *Task) Granularity() int { return t.granularity }
+
+// SetGranularity retunes the swap-in unit online.
+func (t *Task) SetGranularity(pages int) {
+	if pages < 1 {
+		pages = 1
+	}
+	t.granularity = pages
+}
+
+// SetSwapPath switches the task to a different far-memory path. Pages whose
+// far-memory copy lives on the old backend are re-fetched from the new one
+// in this model; the backend switch machinery (internal/vm) accounts for the
+// migration cost.
+func (t *Task) SetSwapPath(p *swap.Path) { t.cfg.SwapPath = p }
+
+// Stats reports the task's statistics so far.
+func (t *Task) Stats() Stats { return t.stats }
+
+// Start begins execution; done fires once with final stats when the stream
+// is exhausted.
+func (t *Task) Start(done func(Stats)) {
+	if t.started {
+		panic(fmt.Sprintf("task %s: started twice", t.cfg.Name))
+	}
+	t.started = true
+	t.done = done
+	t.start = t.eng.Now()
+	t.running = len(t.workers)
+	for _, w := range t.workers {
+		w := w
+		t.eng.Immediately(func() { t.run(w) })
+	}
+}
+
+// run consumes one worker's accesses until its next fault (or the end of
+// its stream), accumulating resident-access time arithmetically and
+// scheduling a single event for the batch.
+func (t *Task) run(w *worker) {
+	var pending sim.Duration
+	for {
+		a, ok := w.stream.Next()
+		if !ok {
+			t.eng.After(pending, t.workerDone)
+			return
+		}
+		t.observe(a)
+		pending += t.cfg.Spec.ComputePerAccess
+		t.stats.UserTime += t.cfg.Spec.ComputePerAccess
+		t.stats.Accesses++
+
+		if t.ps.Page(a.Page).Resident {
+			lat := t.topo.AccessLatency(t.cfg.CPUNode, t.ps.Page(a.Page).Node)
+			if t.ps.Page(a.Page).Huge && lat > tlbSaving {
+				lat -= tlbSaving
+			}
+			pending += lat
+			t.stats.UserTime += lat
+			if t.prefetched[a.Page] {
+				t.prefetched[a.Page] = false
+				t.stats.PrefetchHits++
+			}
+			t.ps.Touch(a.Page, t.eng.Now(), a.Write)
+			continue
+		}
+		// Fault: advance by the accumulated compute, then handle it.
+		t.eng.After(pending, func() { t.fault(w, a) })
+		return
+	}
+}
+
+// workerDone retires one worker; the task finishes when all have.
+func (t *Task) workerDone() {
+	t.running--
+	if t.running == 0 {
+		t.finish()
+	}
+}
+
+func (t *Task) observe(a workload.Access) {
+	if t.cfg.Trace != nil {
+		t.cfg.Trace.Record(a.Page, a.Write)
+	}
+	if t.cfg.EpochAccesses > 0 && t.cfg.OnEpoch != nil {
+		t.sinceEpoch++
+		if t.sinceEpoch >= t.cfg.EpochAccesses {
+			t.sinceEpoch = 0
+			t.cfg.OnEpoch(t)
+		}
+	}
+}
+
+// fault handles a page fault on page a.Page, then resumes the worker.
+func (t *Task) fault(w *worker, a workload.Access) {
+	page := t.ps.Page(a.Page)
+	anon := page.Type == mem.Anonymous
+
+	if page.Resident {
+		// Another worker faulted this page in while we were advancing the
+		// clock; just touch and continue.
+		t.ps.Touch(a.Page, t.eng.Now(), a.Write)
+		t.run(w)
+		return
+	}
+
+	if anon && !t.slotValid[a.Page] {
+		// Zero-fill minor fault: no far-memory read.
+		t.reclaimFor(1)
+		t.makeResident(a.Page, false)
+		t.stats.MinorFaults++
+		t.stats.SysTime += minorFaultCost
+		t.eng.After(minorFaultCost, func() {
+			// Another worker's reclaim may have evicted the page during the
+			// fault window; it will simply refault on next access.
+			if t.ps.Page(a.Page).Resident {
+				t.ps.Touch(a.Page, t.eng.Now(), a.Write)
+			}
+			t.run(w)
+		})
+		return
+	}
+
+	// Major fault: assemble the fetch extent. An adaptive reader spends the
+	// full window only on faults continuing a sequential pattern.
+	seqFault := a.Page >= w.lastFault && a.Page <= w.lastFault+4
+	var fetch []int32
+	var path *swap.Path
+	if anon {
+		wantAnon := func(id int32) bool {
+			p := t.ps.Page(id)
+			return p.Type == mem.Anonymous && !p.Resident && t.slotValid[id]
+		}
+		if t.cfg.AdaptiveWindow {
+			// xDM's reader works in address space: stream forward on
+			// sequential faults, small aligned cluster on isolated ones.
+			g, aligned := t.granularity, false
+			if !seqFault {
+				if g > t.cfg.RandomWindowPages {
+					g = t.cfg.RandomWindowPages
+				}
+				aligned = true
+			}
+			fetch = t.planExtent(a.Page, g, aligned, wantAnon)
+		} else {
+			// Kernel swap readahead reads the slot cluster around the
+			// faulting entry, whatever pages those slots hold.
+			fetch = t.slots.Cluster(a.Page, t.granularity, wantAnon)
+		}
+		path = t.cfg.SwapPath
+	} else {
+		fetch = t.planExtent(a.Page, t.fileRA, true, func(id int32) bool {
+			p := t.ps.Page(id)
+			return p.Type == mem.FileBacked && !p.Resident
+		})
+		path = t.cfg.FilePath
+	}
+
+	sequential := a.Page == w.lastFault+1 || contiguous(fetch)
+	w.lastFault = fetch[len(fetch)-1]
+
+	t.reclaimFor(len(fetch))
+	huge := t.cfg.UseTHP && anon && len(fetch) >= hugeExtentMin && contiguous(fetch)
+	for _, id := range fetch {
+		t.makeResident(id, id != a.Page)
+		if huge {
+			t.ps.Page(id).Huge = true
+			t.stats.HugeBackedPages++
+		}
+	}
+
+	faultStart := t.eng.Now()
+	path.SwapIn(swap.Extent{Pages: len(fetch), Sequential: sequential}, func(lat sim.Duration) {
+		t.stats.MajorFaults++
+		if anon {
+			t.stats.PagesIn += uint64(len(fetch))
+		} else {
+			t.stats.FileRefaults++
+		}
+		t.stats.SysTime += t.eng.Now().Sub(faultStart)
+		if t.ps.Page(a.Page).Resident {
+			t.ps.Touch(a.Page, t.eng.Now(), a.Write)
+		}
+		t.run(w)
+	})
+}
+
+// planExtent collects up to max pages eligible per want, always including
+// the faulting page first. The window is either aligned around the fault
+// (kernel slot-cluster readahead) or forward-looking (xDM).
+func (t *Task) planExtent(page int32, max int, aligned bool, want func(int32) bool) []int32 {
+	if max < 1 {
+		max = 1
+	}
+	// Never fetch more than half the cgroup budget in one extent.
+	if budget := t.cg.LimitPages / 2; max > budget && budget >= 1 {
+		max = budget
+	}
+	base := page
+	if aligned {
+		base = page - page%int32(max)
+	}
+	end := base + int32(max)
+	if end > int32(t.ps.Len()) {
+		end = int32(t.ps.Len())
+	}
+	fetch := []int32{page}
+	for id := base; id < end && len(fetch) < max; id++ {
+		if id != page && want(id) {
+			fetch = append(fetch, id)
+		}
+	}
+	return fetch
+}
+
+func contiguous(ids []int32) bool {
+	if len(ids) < 2 {
+		return false
+	}
+	lo, hi := ids[0], ids[0]
+	for _, id := range ids[1:] {
+		if id < lo {
+			lo = id
+		}
+		if id > hi {
+			hi = id
+		}
+	}
+	return int(hi-lo) == len(ids)-1
+}
+
+// makeResident allocates a NUMA node and installs the page.
+func (t *Task) makeResident(id int32, viaPrefetch bool) {
+	node := t.topo.Allocate(t.cfg.NUMAPolicy, t.cfg.CPUNode)
+	if node < 0 {
+		// Topology exhausted: reclaim one page and retry once.
+		t.reclaimPages(1)
+		node = t.topo.Allocate(t.cfg.NUMAPolicy, t.cfg.CPUNode)
+		if node < 0 {
+			panic("task: NUMA topology smaller than cgroup limit")
+		}
+	}
+	t.ps.MakeResident(id, node)
+	t.prefetched[id] = viaPrefetch
+}
+
+// reclaimFor evicts enough pages that incoming more pages fit the cgroup.
+func (t *Task) reclaimFor(incoming int) {
+	over := t.ps.Resident() + incoming - t.cg.LimitPages
+	if over > 0 {
+		t.reclaimPages(over)
+	}
+}
+
+// reclaimPages evicts n coldest pages, submitting asynchronous write-back
+// extents for dirty anonymous (swap) and dirty file (storage) pages.
+func (t *Task) reclaimPages(n int) {
+	var swapWB, fileWB []int32
+	for i := 0; i < n; i++ {
+		id := t.ps.ReclaimCandidate()
+		if id < 0 {
+			break
+		}
+		page := t.ps.Page(id)
+		anon := page.Type == mem.Anonymous
+		node := page.Node
+		wasHuge := page.Huge
+		page.Huge = false
+		dirty := t.ps.Evict(id)
+		t.topo.Release(node)
+		t.prefetched[id] = false
+		t.stats.ReclaimedPages++
+		t.stats.SysTime += reclaimPerPage
+		if wasHuge {
+			t.stats.SysTime += hugeSplitCost
+			t.stats.HugeSplits++
+		}
+		if anon {
+			if dirty {
+				t.slotValid[id] = true
+				t.slots.Assign(id)
+				swapWB = append(swapWB, id)
+			}
+			// Clean anonymous pages with a valid slot are dropped for free.
+		} else if dirty {
+			fileWB = append(fileWB, id)
+		}
+	}
+	t.writeback(t.cfg.SwapPath, swapWB)
+	t.writeback(t.cfg.FilePath, fileWB)
+}
+
+// writeback submits dirty pages as contiguous extents, asynchronously,
+// throttled by the write-back token pool.
+func (t *Task) writeback(path *swap.Path, ids []int32) {
+	if len(ids) == 0 {
+		return
+	}
+	// ids arrive in reclaim (LRU) order; group ascending contiguous runs.
+	runStart := 0
+	for i := 1; i <= len(ids); i++ {
+		if i < len(ids) && ids[i] == ids[i-1]+1 {
+			continue
+		}
+		pages := i - runStart
+		seq := pages > 1
+		t.wbTokens.Acquire(1, func() {
+			path.SwapOut(swap.Extent{Pages: pages, Sequential: seq}, func(sim.Duration) {
+				t.wbTokens.Release(1)
+			})
+		})
+		t.stats.PagesOut += uint64(pages)
+		runStart = i
+	}
+}
+
+func (t *Task) finish() {
+	if t.finished {
+		return
+	}
+	t.finished = true
+	t.stats.Runtime = t.eng.Now().Sub(t.start)
+	if t.done != nil {
+		t.done(t.stats)
+	}
+}

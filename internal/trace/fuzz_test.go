@@ -1,0 +1,33 @@
+package trace
+
+import "testing"
+
+// FuzzTableRecord: arbitrary access streams keep all fused features within
+// their definitional bounds.
+func FuzzTableRecord(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{255, 0, 255, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 256
+		tbl := NewTable(n)
+		for i, b := range data {
+			tbl.Record(int32(b), i%2 == 0)
+		}
+		ft := tbl.Features(n / 2)
+		unit := func(name string, v float64) {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s = %v outside [0,1]", name, v)
+			}
+		}
+		unit("seq", ft.SeqRatio)
+		unit("load", ft.LoadRatio)
+		unit("hot", ft.HotRatio)
+		unit("frag", ft.FragmentRatio)
+		if ft.TouchedPages > n || ft.MaxSeqRunPages >= n {
+			t.Fatalf("counts out of range: %+v", ft)
+		}
+		if uint64(len(data)) != tbl.Accesses() {
+			t.Fatal("access count wrong")
+		}
+	})
+}

@@ -1,0 +1,173 @@
+// Package trace implements the page trace table and the characteristic
+// fusion the paper's configuration console feeds on (Fig 9a): data fragment
+// ratio, page load/store ratio, hot-data segment ratio, sequential-access
+// share, and the anonymous/file-backed page ratio.
+//
+// A Table observes a stream of page accesses (transparently to the
+// application, as in the paper) and Features() fuses the synthesized
+// statistics that drive backend selection and parameter adjustment.
+package trace
+
+import "sort"
+
+// Table accumulates page-access statistics for one task. Page IDs are dense
+// indices into the task's page set.
+type Table struct {
+	footprint int
+	counts    []uint32
+	loads     uint64
+	stores    uint64
+
+	lastPage int32
+	haveLast bool
+	seqHits  uint64
+	run      int
+	maxRun   int
+	totalAcc uint64
+	touched  int
+}
+
+// NewTable creates a trace table for a footprint of n pages.
+func NewTable(n int) *Table {
+	return &Table{footprint: n, counts: make([]uint32, n), lastPage: -1}
+}
+
+// Record observes one access.
+func (t *Table) Record(page int32, write bool) {
+	if t.counts[page] == 0 {
+		t.touched++
+	}
+	t.counts[page]++
+	t.totalAcc++
+	if write {
+		t.stores++
+	} else {
+		t.loads++
+	}
+	if t.haveLast && page == t.lastPage+1 {
+		t.seqHits++
+		t.run++
+		if t.run > t.maxRun {
+			t.maxRun = t.run
+		}
+	} else {
+		t.run = 0
+	}
+	t.lastPage = page
+	t.haveLast = true
+}
+
+// Accesses reports the total number of recorded accesses.
+func (t *Table) Accesses() uint64 { return t.totalAcc }
+
+// Touched reports how many distinct pages were accessed.
+func (t *Table) Touched() int { return t.touched }
+
+// Features is the fused multi-dimensional characteristic vector (Fig 9a).
+type Features struct {
+	// FootprintPages is the task's address-space size in pages.
+	FootprintPages int
+	// TouchedPages is the number of distinct pages accessed.
+	TouchedPages int
+	// AnonRatio is anonymous pages / all pages (supplied by the caller from
+	// the page table; the trace itself is type-blind).
+	AnonRatio float64
+	// FileTrafficRatio is the measured share of *accesses* landing on
+	// file-backed pages (the first footprint−anon pages of the address
+	// space). Unlike AnonRatio, this tracks where the traffic actually
+	// goes — a page-type ratio of 0.5 can carry anywhere between 0 and
+	// 100% file traffic depending on the phase.
+	FileTrafficRatio float64
+	// LoadRatio is loads / (loads+stores).
+	LoadRatio float64
+	// SeqRatio is the fraction of accesses continuing an ascending run.
+	SeqRatio float64
+	// MaxSeqRunPages is the longest ascending run observed, the signal the
+	// paper uses for I/O-width benefit (Fig 11).
+	MaxSeqRunPages int
+	// FragmentRatio is segments/touched-pages over the touched-address-space
+	// segment structure: 1.0 means every touched page is isolated, →0 means
+	// one contiguous extent (Fig 10).
+	FragmentRatio float64
+	// HotRatio is the smallest fraction of the footprint that absorbs 80% of
+	// accesses — the minimum hot-data size driving local-memory sizing.
+	HotRatio float64
+}
+
+// hotCoverage is the access share the hot set must cover.
+const hotCoverage = 0.8
+
+// Features fuses the table's statistics. anonPages is the count of anonymous
+// pages in the task's page set (the table does not see page types).
+func (t *Table) Features(anonPages int) Features {
+	f := Features{
+		FootprintPages: t.footprint,
+		TouchedPages:   t.touched,
+		AnonRatio:      float64(anonPages) / float64(t.footprint),
+	}
+	if t.loads+t.stores > 0 {
+		f.LoadRatio = float64(t.loads) / float64(t.loads+t.stores)
+	}
+	if t.totalAcc > 0 {
+		fileBoundary := t.footprint - anonPages
+		if fileBoundary > 0 && fileBoundary <= len(t.counts) {
+			var fileAcc uint64
+			for _, c := range t.counts[:fileBoundary] {
+				fileAcc += uint64(c)
+			}
+			f.FileTrafficRatio = float64(fileAcc) / float64(t.totalAcc)
+		}
+	}
+	if t.totalAcc > 1 {
+		f.SeqRatio = float64(t.seqHits) / float64(t.totalAcc-1)
+	}
+	f.MaxSeqRunPages = t.maxRun
+
+	// Fragment ratio: count maximal runs of touched pages.
+	segments := 0
+	inSeg := false
+	for _, c := range t.counts {
+		if c > 0 && !inSeg {
+			segments++
+			inSeg = true
+		} else if c == 0 {
+			inSeg = false
+		}
+	}
+	if t.touched > 0 {
+		f.FragmentRatio = float64(segments) / float64(t.touched)
+	}
+
+	// Hot ratio: smallest page count covering hotCoverage of accesses.
+	if t.totalAcc > 0 {
+		sorted := make([]uint32, 0, t.touched)
+		for _, c := range t.counts {
+			if c > 0 {
+				sorted = append(sorted, c)
+			}
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+		need := uint64(float64(t.totalAcc) * hotCoverage)
+		var acc uint64
+		pages := 0
+		for _, c := range sorted {
+			if acc >= need {
+				break
+			}
+			acc += uint64(c)
+			pages++
+		}
+		f.HotRatio = float64(pages) / float64(t.footprint)
+	}
+	return f
+}
+
+// Reset clears all recorded state, keeping the footprint.
+func (t *Table) Reset() {
+	for i := range t.counts {
+		t.counts[i] = 0
+	}
+	t.loads, t.stores, t.seqHits, t.totalAcc = 0, 0, 0, 0
+	t.run, t.maxRun, t.touched = 0, 0, 0
+	t.lastPage, t.haveLast = -1, false
+}

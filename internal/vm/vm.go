@@ -1,0 +1,361 @@
+// Package vm models the virtualization layer xDM is built on: physical
+// machines hosting KVM-style VMs, SR-IOV-like virtual far-memory backends
+// pre-initialized per VM (warm start), the switchable swapper that retargets
+// a VM's swap path in seconds, and the boot/reboot/switch cost model behind
+// Fig 18.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/swap"
+)
+
+// Lifecycle cost model (Fig 18). The paper reports xDM's VM reboot is ~2.6×
+// faster than the host reboot traditional systems need, and that all warm
+// backend switches complete in under 5 s.
+const (
+	// HostBootCost is a physical server boot (power cycle + OS + services).
+	HostBootCost = 100 * sim.Second
+	// HostBootSysShare is the kernel-level share of a host boot.
+	HostBootSysShare = 0.6
+
+	// VMBootCost is a cold VM creation (image + guest boot).
+	VMBootCost = 52 * sim.Second
+	// VMRebootCost is a warm VM reboot (guest kernel only).
+	VMRebootCost = 38 * sim.Second
+	// VMRebootSysShare is the kernel-level share of a VM reboot.
+	VMRebootSysShare = 0.58
+
+	// ColdModuleSwitch is a backend switch without a pre-assembled module:
+	// the guest kernel module must be rebuilt and inserted.
+	ColdModuleSwitch = 34 * sim.Second
+)
+
+// startupCost is the warm-start time of a pre-assembled backend module.
+// DRAM is the slowest: the host must allocate and pin the donated memory.
+func startupCost(k device.Kind) sim.Duration {
+	switch k {
+	case device.RemoteDRAM:
+		return sim.Duration(4.2 * float64(sim.Second))
+	case device.RDMA, device.DPU:
+		return sim.Duration(1.8 * float64(sim.Second))
+	case device.CXL:
+		return sim.Duration(1.0 * float64(sim.Second))
+	default: // SSD / HDD swap files on prepared partitions
+		return sim.Duration(1.2 * float64(sim.Second))
+	}
+}
+
+// shutdownCost is the teardown time of an active backend module.
+func shutdownCost(k device.Kind) sim.Duration {
+	switch k {
+	case device.RemoteDRAM:
+		return sim.Duration(0.8 * float64(sim.Second))
+	case device.RDMA, device.DPU:
+		return sim.Duration(0.6 * float64(sim.Second))
+	default:
+		return sim.Duration(0.4 * float64(sim.Second))
+	}
+}
+
+// SwitchCost reports the warm backend-switch time from kind a to kind b
+// (shutdown of a + startup of b). Fig 18(b) requires every pair < 5 s.
+func SwitchCost(a, b device.Kind) sim.Duration {
+	return shutdownCost(a) + startupCost(b)
+}
+
+// Machine is a physical host: a PCIe fabric with attached far-memory
+// devices, the host OS swap stage (for hierarchical baselines), one shared
+// swap channel (for shared-swap baselines), and a fleet of VMs.
+type Machine struct {
+	Eng  *sim.Engine
+	Host *device.Host
+
+	CPUCores    int
+	MemoryPages int
+
+	usedCores int
+	usedPages int
+
+	devices   map[string]*device.Device
+	backends  map[string]*swap.DeviceBackend
+	hostStage *swap.HostSwapStage
+	shared    *swap.Channel
+
+	vms    []*VM
+	nextID int
+}
+
+// NewMachine builds a host on the given PCIe generation/lanes with the
+// paper's testbed shape (two 10-core CPUs).
+func NewMachine(eng *sim.Engine, gen pcie.Generation, lanes, cores, memoryPages int) *Machine {
+	return &Machine{
+		Eng:         eng,
+		Host:        device.NewHost(eng, gen, lanes),
+		CPUCores:    cores,
+		MemoryPages: memoryPages,
+		devices:     make(map[string]*device.Device),
+		backends:    make(map[string]*swap.DeviceBackend),
+		hostStage:   swap.NewHostSwapStage(eng, swap.DefaultHostWorkers),
+		shared:      swap.NewChannel(eng, "host-shared", 4),
+	}
+}
+
+// AttachDevice adds a far-memory device to the machine's fabric and
+// registers it as a swappable backend.
+func (m *Machine) AttachDevice(spec device.Spec) *device.Device {
+	if _, dup := m.devices[spec.Name]; dup {
+		panic(fmt.Sprintf("vm: duplicate device %q", spec.Name))
+	}
+	d := m.Host.Attach(spec)
+	m.devices[spec.Name] = d
+	m.backends[spec.Name] = swap.NewDeviceBackend(m.Eng, d)
+	return d
+}
+
+// Device returns an attached device by name.
+func (m *Machine) Device(name string) *device.Device { return m.devices[name] }
+
+// Backend returns a registered swap backend by name.
+func (m *Machine) Backend(name string) *swap.DeviceBackend { return m.backends[name] }
+
+// BackendNames lists registered backends.
+func (m *Machine) BackendNames() []string {
+	names := make([]string, 0, len(m.backends))
+	for n := range m.backends {
+		names = append(names, n)
+	}
+	return names
+}
+
+// HostStage exposes the shared host swap stage (hierarchical baselines).
+func (m *Machine) HostStage() *swap.HostSwapStage { return m.hostStage }
+
+// SharedChannel exposes the host's single shared swap channel.
+func (m *Machine) SharedChannel() *swap.Channel { return m.shared }
+
+// SharedPath builds a traditional path: shared channel + hierarchical host
+// hop + the named backend. This is the baseline (Linux swap / Fastswap in a
+// VM) configuration.
+func (m *Machine) SharedPath(backend string) *swap.Path {
+	b, ok := m.backends[backend]
+	if !ok {
+		panic(fmt.Sprintf("vm: unknown backend %q", backend))
+	}
+	return swap.NewHierarchicalPath(m.Eng, b, m.shared, m.hostStage)
+}
+
+// FreeCores and FreePages report unallocated host resources.
+func (m *Machine) FreeCores() int { return m.CPUCores - m.usedCores }
+func (m *Machine) FreePages() int { return m.MemoryPages - m.usedPages }
+
+// VMs lists the machine's VMs.
+func (m *Machine) VMs() []*VM { return m.vms }
+
+// VMState tracks a VM's lifecycle.
+type VMState int
+
+// VM lifecycle states.
+const (
+	Booting VMState = iota
+	Free            // booted, no task
+	Online          // running at least one task
+	Switching
+)
+
+func (s VMState) String() string {
+	switch s {
+	case Booting:
+		return "booting"
+	case Free:
+		return "free"
+	case Online:
+		return "online"
+	case Switching:
+		return "switching"
+	default:
+		return "unknown"
+	}
+}
+
+// VM is a guest with its own isolated swap channel and a set of
+// pre-initialized (warm) virtual backends, one of which is active.
+type VM struct {
+	Name    string
+	machine *Machine
+
+	Cores int
+	Pages int
+
+	channel *swap.Channel
+	// warm maps backend name → pre-built bypass path (SR-IOV virtual
+	// function + pre-assembled swap module).
+	warm   map[string]*swap.Path
+	active string
+	state  VMState
+
+	// ActiveTasks counts tasks currently dispatched to this VM.
+	ActiveTasks int
+
+	// Switches and SwitchTime accumulate backend-switch overhead.
+	Switches   uint64
+	SwitchTime sim.Duration
+}
+
+// CreateVM allocates host resources and boots a VM with the named warm
+// backends (the first is active). done fires when the boot completes.
+// It returns nil if the host lacks resources.
+func (m *Machine) CreateVM(name string, cores, pages int, warmBackends []string, done func(*VM)) *VM {
+	if cores > m.FreeCores() || pages > m.FreePages() {
+		return nil
+	}
+	if len(warmBackends) == 0 {
+		panic("vm: VM needs at least one backend")
+	}
+	m.usedCores += cores
+	m.usedPages += pages
+	m.nextID++
+	v := &VM{
+		Name:    name,
+		machine: m,
+		Cores:   cores,
+		Pages:   pages,
+		channel: swap.NewChannel(m.Eng, name+"-ch", 4),
+		warm:    make(map[string]*swap.Path),
+		state:   Booting,
+	}
+	boot := VMBootCost
+	for _, b := range warmBackends {
+		be, ok := m.backends[b]
+		if !ok {
+			panic(fmt.Sprintf("vm: unknown backend %q", b))
+		}
+		// Warm initialization happens during boot (overlapped), costing
+		// only the longest backend startup beyond the base boot time.
+		if s := startupCost(be.Kind()); boot < VMBootCost+s/2 {
+			boot = VMBootCost + s/2
+		}
+		v.warm[b] = swap.NewPath(m.Eng, be, v.channel)
+	}
+	v.active = warmBackends[0]
+	m.vms = append(m.vms, v)
+	m.Eng.After(boot, func() {
+		v.state = Free
+		if done != nil {
+			done(v)
+		}
+	})
+	return v
+}
+
+// Destroy releases the VM's host resources.
+func (m *Machine) Destroy(v *VM) {
+	for i, x := range m.vms {
+		if x == v {
+			m.vms = append(m.vms[:i], m.vms[i+1:]...)
+			break
+		}
+	}
+	m.usedCores -= v.Cores
+	m.usedPages -= v.Pages
+}
+
+// State reports the VM's lifecycle state.
+func (v *VM) State() VMState { return v.state }
+
+// ActiveBackend reports the active backend's name.
+func (v *VM) ActiveBackend() string { return v.active }
+
+// HasWarmBackend reports whether the named backend is pre-initialized.
+func (v *VM) HasWarmBackend(name string) bool {
+	_, ok := v.warm[name]
+	return ok
+}
+
+// Path returns the VM's bypass swap path for its active backend.
+func (v *VM) Path() *swap.Path { return v.warm[v.active] }
+
+// PathFor returns the VM's path for any warm backend (nil if absent).
+func (v *VM) PathFor(name string) *swap.Path { return v.warm[name] }
+
+// Channel exposes the VM's isolated swap channel.
+func (v *VM) Channel() *swap.Channel { return v.channel }
+
+// SwitchBackend retargets the VM's swapper to the named backend. Warm
+// backends switch in SwitchCost (< 5 s); a cold backend pays the module
+// assembly cost and becomes warm. done fires when the switch completes.
+func (v *VM) SwitchBackend(name string, done func()) {
+	if name == v.active {
+		if done != nil {
+			v.machine.Eng.Immediately(done)
+		}
+		return
+	}
+	be, ok := v.machine.backends[name]
+	if !ok {
+		panic(fmt.Sprintf("vm: unknown backend %q", name))
+	}
+	oldKind := v.machine.backends[v.active].Kind()
+	var cost sim.Duration
+	if _, warm := v.warm[name]; warm {
+		cost = SwitchCost(oldKind, be.Kind())
+	} else {
+		cost = ColdModuleSwitch + SwitchCost(oldKind, be.Kind())
+		v.warm[name] = swap.NewPath(v.machine.Eng, be, v.channel)
+	}
+	prev := v.state
+	v.state = Switching
+	v.Switches++
+	v.SwitchTime += cost
+	v.machine.Eng.After(cost, func() {
+		v.active = name
+		if v.state == Switching {
+			v.state = prev
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Reboot restarts the guest (e.g. to apply an offline parameter), costing
+// VMRebootCost — the cheap alternative to the host reboot traditional
+// systems need (Fig 18a).
+func (v *VM) Reboot(done func()) {
+	prev := v.state
+	v.state = Booting
+	v.machine.Eng.After(VMRebootCost, func() {
+		v.state = prev
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Accept reports whether the VM can host a task needing the given
+// resources.
+func (v *VM) Accept(cores, pages int) bool {
+	return v.state != Booting && cores <= v.Cores && pages <= v.Pages
+}
+
+// BeginTask records a task dispatched to this VM, moving it Online.
+func (v *VM) BeginTask() {
+	v.ActiveTasks++
+	if v.state == Free {
+		v.state = Online
+	}
+}
+
+// EndTask records a task completion; the VM returns to Free when idle.
+func (v *VM) EndTask() {
+	if v.ActiveTasks > 0 {
+		v.ActiveTasks--
+	}
+	if v.ActiveTasks == 0 && v.state == Online {
+		v.state = Free
+	}
+}

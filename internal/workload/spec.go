@@ -1,0 +1,225 @@
+// Package workload synthesizes page-access streams for the 17 applications
+// in the paper's Table V. The real binaries (Ligra, GridGraph, Spark,
+// TensorFlow, Bert, Clip, ChatGLM, ...) cannot run against a simulated memory
+// subsystem, so each is replaced by a generator whose *trace statistics* —
+// anonymous/file-backed ratio, sequential share, fragment ratio, hot-set
+// size, load/store mix, compute intensity — match the behaviour class the
+// paper reports for it. Those statistics are exactly the features xDM's
+// configuration console consumes, so the substitution preserves the decision
+// problem.
+package workload
+
+import "repro/internal/sim"
+
+// PagesPerGiB is the footprint scale: simulated page sets are 1/256 the
+// byte size of the paper's workloads (1 GiB → 1024 simulated pages). All
+// policies operate on ratios, so the scale cancels out of every reported
+// metric except absolute bytes.
+const PagesPerGiB = 1024
+
+// Class groups workloads as Table V does.
+type Class string
+
+// Workload classes.
+const (
+	Compute Class = "compute" // standard benchmarks (Stream, Linpack, ...)
+	Graph   Class = "graph"   // graph processing (Ligra, GridGraph, Spark)
+	AI      Class = "ai"      // model inference (TensorFlow, Bert, Clip, ChatGLM)
+)
+
+// Spec parameterizes one synthetic workload.
+type Spec struct {
+	Name        string
+	Class       Class
+	Description string
+
+	// MaxMemGiB is Table V's "Max Mem." column; FootprintPages is its scaled
+	// page count.
+	MaxMemGiB      float64
+	FootprintPages int
+
+	// AnonFraction is the share of the footprint that is anonymous memory
+	// (the rest is file-backed page cache).
+	AnonFraction float64
+
+	// Coverage is the fraction of the footprint the main phase touches.
+	Coverage float64
+
+	// SegmentLen is the mean contiguous-segment length in pages; the data
+	// fragment ratio (Fig 10) is approximately 1/SegmentLen.
+	SegmentLen int
+
+	// SeqShare is the probability an access continues a sequential run;
+	// RunLen is the mean run length in pages (Fig 11's max-sequential-size
+	// signal grows with both).
+	SeqShare float64
+	RunLen   int
+
+	// HotShare is the fraction of touched pages forming the hot set;
+	// HotProb is the probability a random access hits the hot set. Together
+	// they set the hot-data segment ratio (Fig 9a) and the knee of the
+	// far-memory-ratio curve (Fig 12/15).
+	HotShare float64
+	HotProb  float64
+
+	// WriteFraction is the store share of accesses (the page load/store
+	// ratio signal).
+	WriteFraction float64
+
+	// ComputePerAccess is the CPU work between memory accesses: the
+	// compute-intensity dial separating swap-sensitive from swap-friendly
+	// behaviour.
+	ComputePerAccess sim.Duration
+
+	// MainAccesses is the main-phase access count (divided across threads).
+	MainAccesses int
+
+	// Threads is the application's parallelism: concurrent access streams
+	// sharing the address space. Parallel frameworks (Ligra, GridGraph,
+	// TensorFlow, ChatGLM) issue many overlapping faults, which is what
+	// loads multiple far-memory channels at once. 0 means 1.
+	Threads int
+
+	// SwapFeature is the paper's Table VI label: 'S' (swap-sensitive,
+	// average speedup <= 1.5x) or 'F' (swap-friendly, >= 1.5x). Used only to
+	// validate that the reproduction lands in the right class.
+	SwapFeature byte
+}
+
+func gib(v float64) int { return int(v * PagesPerGiB) }
+
+// Specs returns all 17 Table V workloads in the paper's order.
+func Specs() []Spec {
+	return []Spec{
+		{
+			Name: "stream", Class: Compute, Description: "Stream memory bandwidth",
+			MaxMemGiB: 4, FootprintPages: gib(4), AnonFraction: 0.97, Coverage: 1.0,
+			SegmentLen: 4096, SeqShare: 0.97, RunLen: 256, HotShare: 1, HotProb: 0,
+			WriteFraction: 0.45, ComputePerAccess: 40 * sim.Nanosecond,
+			MainAccesses: 6 * gib(4), Threads: 2, SwapFeature: 'S',
+		},
+		{
+			Name: "lpk", Class: Compute, Description: "Linpack floating-point computing",
+			MaxMemGiB: 4, FootprintPages: gib(4), AnonFraction: 0.95, Coverage: 0.9,
+			SegmentLen: 512, SeqShare: 0.5, RunLen: 48, HotShare: 0.15, HotProb: 0.95,
+			WriteFraction: 0.3, ComputePerAccess: 3000 * sim.Nanosecond,
+			MainAccesses: 6 * gib(4), Threads: 4, SwapFeature: 'S',
+		},
+		{
+			Name: "kmeans", Class: Compute, Description: "K-means clustering on sklearn",
+			MaxMemGiB: 4, FootprintPages: gib(4), AnonFraction: 0.85, Coverage: 0.95,
+			SegmentLen: 256, SeqShare: 0.55, RunLen: 32, HotShare: 0.1, HotProb: 0.85,
+			WriteFraction: 0.25, ComputePerAccess: 250 * sim.Nanosecond,
+			MainAccesses: 6 * gib(4), Threads: 4, SwapFeature: 'S',
+		},
+		{
+			Name: "sort", Class: Compute, Description: "Quicksort on C++ std",
+			MaxMemGiB: 8, FootprintPages: gib(8), AnonFraction: 0.97, Coverage: 1.0,
+			SegmentLen: 2048, SeqShare: 0.45, RunLen: 24, HotShare: 1, HotProb: 0,
+			WriteFraction: 0.5, ComputePerAccess: 120 * sim.Nanosecond,
+			MainAccesses: 5 * gib(8), Threads: 1, SwapFeature: 'S',
+		},
+		{
+			Name: "sp-pg", Class: Compute, Description: "PageRank on Spark",
+			MaxMemGiB: 10, FootprintPages: gib(10), AnonFraction: 0.6, Coverage: 0.9,
+			SegmentLen: 128, SeqShare: 0.5, RunLen: 24, HotShare: 0.15, HotProb: 0.7,
+			WriteFraction: 0.3, ComputePerAccess: 150 * sim.Nanosecond,
+			MainAccesses: 4 * gib(10), Threads: 8, SwapFeature: 'S',
+		},
+		{
+			Name: "gg-pre", Class: Graph, Description: "Graph preprocess on GridGraph",
+			MaxMemGiB: 16, FootprintPages: gib(16), AnonFraction: 0.7, Coverage: 1.0,
+			SegmentLen: 1024, SeqShare: 0.88, RunLen: 128, HotShare: 0.3, HotProb: 0.6,
+			WriteFraction: 0.4, ComputePerAccess: 60 * sim.Nanosecond,
+			MainAccesses: 4 * gib(16), Threads: 6, SwapFeature: 'F',
+		},
+		{
+			Name: "gg-bfs", Class: Graph, Description: "Breadth-first search on GridGraph",
+			MaxMemGiB: 16, FootprintPages: gib(16), AnonFraction: 0.35, Coverage: 0.85,
+			SegmentLen: 64, SeqShare: 0.35, RunLen: 12, HotShare: 0.2, HotProb: 0.65,
+			WriteFraction: 0.15, ComputePerAccess: 90 * sim.Nanosecond,
+			MainAccesses: 4 * gib(16), Threads: 8, SwapFeature: 'S',
+		},
+		{
+			Name: "lg-bfs", Class: Graph, Description: "Breadth-first search on Ligra",
+			MaxMemGiB: 16, FootprintPages: gib(16), AnonFraction: 0.92, Coverage: 0.85,
+			SegmentLen: 96, SeqShare: 0.45, RunLen: 16, HotShare: 0.2, HotProb: 0.65,
+			WriteFraction: 0.15, ComputePerAccess: 80 * sim.Nanosecond,
+			MainAccesses: 4 * gib(16), Threads: 6, SwapFeature: 'F',
+		},
+		{
+			Name: "lg-bc", Class: Graph, Description: "Betweenness centrality on Ligra",
+			MaxMemGiB: 16, FootprintPages: gib(16), AnonFraction: 0.92, Coverage: 0.9,
+			SegmentLen: 128, SeqShare: 0.5, RunLen: 20, HotShare: 0.2, HotProb: 0.65,
+			WriteFraction: 0.25, ComputePerAccess: 90 * sim.Nanosecond,
+			MainAccesses: 4 * gib(16), Threads: 6, SwapFeature: 'F',
+		},
+		{
+			Name: "lg-comp", Class: Graph, Description: "Connected components on Ligra",
+			MaxMemGiB: 16, FootprintPages: gib(16), AnonFraction: 0.93, Coverage: 0.95,
+			SegmentLen: 160, SeqShare: 0.55, RunLen: 24, HotShare: 0.25, HotProb: 0.65,
+			WriteFraction: 0.3, ComputePerAccess: 80 * sim.Nanosecond,
+			MainAccesses: 4 * gib(16), Threads: 6, SwapFeature: 'F',
+		},
+		{
+			Name: "lg-mis", Class: Graph, Description: "Multiple importance sampling on Ligra",
+			MaxMemGiB: 16, FootprintPages: gib(16), AnonFraction: 0.92, Coverage: 0.85,
+			SegmentLen: 128, SeqShare: 0.5, RunLen: 20, HotShare: 0.2, HotProb: 0.65,
+			WriteFraction: 0.2, ComputePerAccess: 85 * sim.Nanosecond,
+			MainAccesses: 4 * gib(16), Threads: 6, SwapFeature: 'F',
+		},
+		{
+			Name: "tf-infer", Class: AI, Description: "ResNet inference on TensorFlow",
+			MaxMemGiB: 1, FootprintPages: gib(1), AnonFraction: 0.97, Coverage: 1.0,
+			SegmentLen: 256, SeqShare: 0.8, RunLen: 96, HotShare: 0.4, HotProb: 0.85,
+			WriteFraction: 0.2, ComputePerAccess: 200 * sim.Nanosecond,
+			MainAccesses: 16 * gib(1), Threads: 8, SwapFeature: 'F',
+		},
+		{
+			Name: "tf-incep", Class: AI, Description: "ResNet Inception on TensorFlow",
+			MaxMemGiB: 1, FootprintPages: gib(1), AnonFraction: 0.97, Coverage: 1.0,
+			SegmentLen: 224, SeqShare: 0.78, RunLen: 80, HotShare: 0.4, HotProb: 0.85,
+			WriteFraction: 0.22, ComputePerAccess: 210 * sim.Nanosecond,
+			MainAccesses: 16 * gib(1), Threads: 8, SwapFeature: 'F',
+		},
+		{
+			Name: "tf-tc", Class: AI, Description: "CNN inference on text classification",
+			MaxMemGiB: 10, FootprintPages: gib(10), AnonFraction: 0.8, Coverage: 1.0,
+			SegmentLen: 512, SeqShare: 0.8, RunLen: 80, HotShare: 0.3, HotProb: 0.85,
+			WriteFraction: 0.2, ComputePerAccess: 250 * sim.Nanosecond,
+			MainAccesses: 4 * gib(10), Threads: 6, SwapFeature: 'F',
+		},
+		{
+			Name: "bert", Class: AI, Description: "Inference on Bert",
+			MaxMemGiB: 1.5, FootprintPages: gib(1.5), AnonFraction: 0.88, Coverage: 1.0,
+			SegmentLen: 64, SeqShare: 0.55, RunLen: 24, HotShare: 0.35, HotProb: 0.85,
+			WriteFraction: 0.15, ComputePerAccess: 300 * sim.Nanosecond,
+			MainAccesses: 12 * gib(1.5), Threads: 2, SwapFeature: 'S',
+		},
+		{
+			Name: "clip", Class: AI, Description: "Inference on Clip",
+			MaxMemGiB: 1.7, FootprintPages: gib(1.7), AnonFraction: 0.85, Coverage: 0.95,
+			SegmentLen: 24, SeqShare: 0.45, RunLen: 10, HotShare: 0.35, HotProb: 0.85,
+			WriteFraction: 0.15, ComputePerAccess: 280 * sim.Nanosecond,
+			MainAccesses: 12 * gib(1.7), Threads: 2, SwapFeature: 'S',
+		},
+		{
+			Name: "chat-int", Class: AI, Description: "Inference on ChatGLM (int4)",
+			MaxMemGiB: 14, FootprintPages: gib(14), AnonFraction: 0.99, Coverage: 1.0,
+			SegmentLen: 4096, SeqShare: 0.92, RunLen: 384, HotShare: 0.25, HotProb: 0.5,
+			WriteFraction: 0.1, ComputePerAccess: 100 * sim.Nanosecond,
+			MainAccesses: 4 * gib(14), Threads: 8, SwapFeature: 'F',
+		},
+	}
+}
+
+// ByName returns the spec with the given name, panicking on unknown names
+// (all call sites use compile-time constants).
+func ByName(name string) Spec {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s
+		}
+	}
+	panic("workload: unknown workload " + name)
+}
