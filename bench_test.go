@@ -118,6 +118,31 @@ func BenchmarkDynamic(b *testing.B) { runExperiment(b, "dynamic") }
 func BenchmarkFig18(b *testing.B)   { runExperiment(b, "fig18") }
 func BenchmarkFig19(b *testing.B)   { runExperiment(b, "fig19") }
 
+func BenchmarkFaultRecovery(b *testing.B) {
+	var rows []experiments.FaultRecoveryRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.FaultRecoveryData(benchOptions())
+	}
+	// Headline: how much faster failure-aware switching restores 90% of
+	// pre-fault throughput after a transient outage than a static backend.
+	var staticMTTR, xdmMTTR sim.Duration
+	for _, r := range rows {
+		if r.Scenario.String() != "flap" {
+			continue
+		}
+		switch r.System {
+		case "static":
+			staticMTTR = r.MTTR
+		case "xdm-failover":
+			xdmMTTR = r.MTTR
+		}
+	}
+	if staticMTTR > 0 && xdmMTTR > 0 {
+		b.ReportMetric(staticMTTR.Seconds()/xdmMTTR.Seconds(), "recovery-x")
+		b.ReportMetric(xdmMTTR.Seconds(), "mttr-s")
+	}
+}
+
 // --- design-choice ablations (DESIGN.md §4) ---
 
 func BenchmarkAblationBypass(b *testing.B) {

@@ -28,7 +28,11 @@ func main() {
 
 	switch *kind {
 	case "pages":
-		spec := workload.ByName(*wl)
+		spec, ok := workload.Find(*wl)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown -workload %q\n", *wl)
+			os.Exit(2)
+		}
 		s := workload.NewStream(spec, *seed)
 		fmt.Println("index,page,write")
 		for i := 0; i < *n; i++ {

@@ -28,6 +28,17 @@ func main() {
 	)
 	flag.Parse()
 
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "xdmsim: -scale must be a positive integer (got %d)\n", *scale)
+		fmt.Fprintln(os.Stderr, "usage: xdmsim -exp <id>|all | -custom specs.json [-scale N] [-seed N]; -list shows ids")
+		os.Exit(2)
+	}
+	if *seed < 0 {
+		fmt.Fprintf(os.Stderr, "xdmsim: -seed must be non-negative (got %d)\n", *seed)
+		fmt.Fprintln(os.Stderr, "usage: xdmsim -exp <id>|all | -custom specs.json [-scale N] [-seed N]; -list shows ids")
+		os.Exit(2)
+	}
+
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)

@@ -59,8 +59,9 @@ type Dispatcher struct {
 	opts []core.BackendOption
 
 	// Stats per branch.
-	Placed   map[PlacementKind]int
-	Rejected int
+	Placed       map[PlacementKind]int
+	Rejected     int
+	Redispatched int
 }
 
 // NewDispatcher builds a dispatcher over the machine's registered backends.
@@ -73,13 +74,18 @@ func NewDispatcher(env baseline.Env) *Dispatcher {
 }
 
 // systemPressure marks options unavailable when their device is saturated
-// (queue deeper than 4x its width), Algorithm 1's system_pressure input.
+// (queue deeper than 4x its width), Algorithm 1's system_pressure input —
+// extended with health: a dead or stalled device is never a placement
+// target, so unhealthy donors drop out of selection automatically.
 func (d *Dispatcher) systemPressure() []core.BackendOption {
 	opts := make([]core.BackendOption, len(d.opts))
 	copy(opts, d.opts)
 	for i := range opts {
 		dev := d.Env.Machine.Device(opts[i].Name)
-		if dev != nil && dev.QueueDepth() > 4*dev.Channels() {
+		if dev == nil {
+			continue
+		}
+		if dev.Down() || dev.Stalled() || dev.QueueDepth() > 4*dev.Channels() {
 			opts[i].Available = false
 		}
 	}
@@ -149,12 +155,16 @@ func (d *Dispatcher) Dispatch(app App, ready func(Placement)) Placement {
 	// Lines 16-20: switch an idle VM to the preferred backend.
 	for _, v := range d.Env.Machine.VMs() {
 		if v.State() == vm.Free && v.Accept(app.Cores, app.Spec.FootprintPages) {
-			p := finish(v, ViaSwitch)
-			v.SwitchBackend(backend, func() {
+			var p Placement
+			err := v.SwitchBackend(backend, func() {
 				if ready != nil {
 					ready(p)
 				}
 			})
+			if err != nil {
+				continue // backend vanished between selection and switch
+			}
+			p = finish(v, ViaSwitch)
 			return p
 		}
 	}
@@ -185,4 +195,15 @@ func (d *Dispatcher) Release(p Placement) {
 	if p.VM != nil {
 		p.VM.EndTask()
 	}
+}
+
+// Redispatch re-places an app whose placement was invalidated by a failure
+// (its backend died or its donor crashed): the old placement is released
+// and the app runs Algorithm 1 again. Because systemPressure marks dead and
+// stalled devices unavailable, the new placement cannot land on the failed
+// backend.
+func (d *Dispatcher) Redispatch(app App, old Placement, ready func(Placement)) Placement {
+	d.Release(old)
+	d.Redispatched++
+	return d.Dispatch(app, ready)
 }

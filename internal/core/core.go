@@ -309,6 +309,25 @@ func SelectBackend(opts []BackendOption, f trace.Features, computePerAccess sim.
 	return priority, mei
 }
 
+// FailoverTarget extends MEI-based selection into failure-aware switching:
+// given the MEI priority order, the backend being demoted, and a health
+// predicate, it returns the best-ranked healthy alternative. The demoted
+// backend is excluded even if healthy reports it alive — demotion is the
+// caller's decision and this function must not argue with it. ok is false
+// when no healthy alternative exists (the caller keeps limping on the
+// current backend rather than switching to nothing).
+func FailoverTarget(priority []string, demoted string, healthy func(name string) bool) (name string, ok bool) {
+	for _, cand := range priority {
+		if cand == demoted {
+			continue
+		}
+		if healthy == nil || healthy(cand) {
+			return cand, true
+		}
+	}
+	return "", false
+}
+
 // sloMargin discounts the SLO budget the console plans against: the
 // analytic model omits queueing, reclaim CPU, and co-location contention,
 // so only this fraction of the slack is spent at planning time.

@@ -226,3 +226,28 @@ func TestPredictCostProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFailoverTarget(t *testing.T) {
+	priority := []string{"dram", "rdma", "ssd", "disk"}
+	alive := map[string]bool{"rdma": true, "ssd": true}
+	healthy := func(n string) bool { return alive[n] }
+
+	if got, ok := FailoverTarget(priority, "dram", healthy); !ok || got != "rdma" {
+		t.Fatalf("FailoverTarget = %q,%v, want rdma", got, ok)
+	}
+	// The demoted backend is excluded even if the health probe likes it.
+	if got, ok := FailoverTarget(priority, "rdma", func(string) bool { return true }); !ok || got != "dram" {
+		t.Fatalf("FailoverTarget = %q,%v, want dram", got, ok)
+	}
+	if got, ok := FailoverTarget(priority, "rdma", healthy); !ok || got != "ssd" {
+		t.Fatalf("FailoverTarget = %q,%v, want ssd", got, ok)
+	}
+	// Nothing healthy: no target.
+	if _, ok := FailoverTarget(priority, "rdma", func(string) bool { return false }); ok {
+		t.Fatal("FailoverTarget found a target with nothing healthy")
+	}
+	// Nil healthy accepts the first non-demoted entry.
+	if got, ok := FailoverTarget(priority, "dram", nil); !ok || got != "rdma" {
+		t.Fatalf("FailoverTarget = %q,%v with nil healthy, want rdma", got, ok)
+	}
+}

@@ -1,0 +1,133 @@
+package datacenter
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/swap"
+)
+
+func TestCrashNodeBlocksLending(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(eng, 3)
+	if n := c.CrashNode(1); n != 0 {
+		t.Fatalf("crash with no leases affected %d, want 0", n)
+	}
+	if _, err := c.Lend(c.Node(1), c.Node(0), 128); err == nil {
+		t.Fatal("dead donor accepted a lend")
+	}
+	if _, err := c.Lend(c.Node(0), c.Node(1), 128); err == nil {
+		t.Fatal("dead borrower accepted a lend")
+	}
+	if got := c.DeadNodes(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("DeadNodes=%v, want [1]", got)
+	}
+	c.RecoverNode(1)
+	if got := c.DeadNodes(); got != nil {
+		t.Fatalf("DeadNodes=%v after recovery, want none", got)
+	}
+	if _, err := c.Lend(c.Node(1), c.Node(0), 128); err != nil {
+		t.Fatalf("recovered node cannot lend: %v", err)
+	}
+}
+
+func TestCrashNodeCountsAffectedLeases(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(eng, 3)
+	if _, err := c.Lend(c.Node(0), c.Node(1), 256); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lend(c.Node(0), c.Node(2), 256); err != nil {
+		t.Fatal(err)
+	}
+	returned, err := c.Lend(c.Node(1), c.Node(2), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	returned.Return() // no longer active, must not count
+	if n := c.CrashNode(0); n != 2 {
+		t.Fatalf("crash affected %d leases, want 2", n)
+	}
+	if n := c.CrashNode(0); n != 0 {
+		t.Fatalf("double crash affected %d leases, want 0", n)
+	}
+}
+
+func TestRemoteMemoryDropsOpsOnDeadDonor(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(eng, 2)
+	donor, borrower := c.Node(0), c.Node(1)
+	rm, err := c.Lend(donor, borrower, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Donor() != donor {
+		t.Fatal("Donor accessor wrong")
+	}
+
+	// Healthy op completes.
+	ok := false
+	rm.Submit(swap.Extent{Pages: 1}, func(sim.Duration) { ok = true })
+	eng.Run()
+	if !ok {
+		t.Fatal("healthy remote op did not complete")
+	}
+
+	// Dead donor: one-sided RDMA gets no NAK — the op just vanishes.
+	c.CrashNode(0)
+	fired := false
+	rm.Submit(swap.Extent{Pages: 1}, func(sim.Duration) { fired = true })
+	eng.Run()
+	if fired {
+		t.Fatal("op against dead donor completed")
+	}
+	if rm.DroppedOps != 1 {
+		t.Fatalf("DroppedOps=%d, want 1", rm.DroppedOps)
+	}
+}
+
+func TestPathTimeoutNoticesDeadDonor(t *testing.T) {
+	// The borrower's swap path, armed with the remote-DRAM retry policy, is
+	// what detects the silent loss: the op fails through instead of hanging.
+	eng := sim.NewEngine()
+	c := newCluster(eng, 2)
+	rm, err := c.Lend(c.Node(0), c.Node(1), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := swap.NewPath(eng, rm, swap.NewChannel(eng, "remote", 4))
+	p.Retry = swap.DefaultRetryPolicy(rm.Kind())
+
+	c.CrashNode(0)
+	fired := false
+	p.SwapIn(swap.Extent{Pages: 1}, func(sim.Duration) { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("swap-in against dead donor hung despite retry policy")
+	}
+	if p.FailedOps.Value != 1 || p.Timeouts.Value == 0 {
+		t.Fatalf("failed=%d timeouts=%d, want 1 failed op via timeouts",
+			p.FailedOps.Value, p.Timeouts.Value)
+	}
+	if rm.DroppedOps == 0 {
+		t.Fatal("remote memory recorded no dropped ops")
+	}
+}
+
+func TestCrashedDonorLeaseResumesAfterRecovery(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(eng, 2)
+	rm, err := c.Lend(c.Node(0), c.Node(1), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CrashNode(0)
+	c.RecoverNode(0)
+	ok := false
+	rm.Submit(swap.Extent{Pages: 1}, func(sim.Duration) { ok = true })
+	eng.Run()
+	if !ok {
+		t.Fatal("lease did not resume serving after donor recovery")
+	}
+}

@@ -12,6 +12,7 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/metrics"
@@ -19,6 +20,15 @@ import (
 	"repro/internal/sim"
 	"repro/internal/units"
 )
+
+// ErrDown is the completion error for ops against a dead device: the
+// controller (or NIC) aborts the request instead of servicing it.
+var ErrDown = errors.New("device: backend down")
+
+// FailFastLatency is how long a dead device takes to reject an op — the
+// cost of a controller abort / NIC completion-with-error, far below any
+// initiator timeout but not free.
+const FailFastLatency = 25 * sim.Microsecond
 
 // Kind classifies the far-memory medium.
 type Kind int
@@ -119,10 +129,21 @@ type Device struct {
 	readCh  *sim.Resource
 	writeCh *sim.Resource
 
+	// Fault state (driven by internal/faults via the Target interface).
+	// down: ops fail fast with ErrDown. stalled: ops are silently dropped
+	// (only the initiator's timeout notices). latFactor scales base op
+	// latency; bandwidth degradation is applied to the media link itself
+	// so the fluid-flow arbiter redistributes fairly.
+	down      bool
+	stalled   bool
+	latFactor float64
+
 	// Stats.
 	Ops       metrics.Counter
 	ReadOps   metrics.Counter
 	WriteOps  metrics.Counter
+	Failed    metrics.Counter // ops rejected with ErrDown
+	Dropped   metrics.Counter // ops silently lost while stalled
 	BytesRead float64
 	BytesWrit float64
 	Latency   metrics.Summary // per-op end-to-end latency, µs
@@ -145,9 +166,12 @@ func New(eng *sim.Engine, fabric *pcie.Fabric, spec Spec, extraLinks ...*pcie.Li
 		readCh:   sim.NewResource(eng, spec.Channels),
 		writeCh:  sim.NewResource(eng, spec.Channels),
 	}
+	d.latFactor = 1
 	d.Ops.Name = spec.Name + ".ops"
 	d.ReadOps.Name = spec.Name + ".reads"
 	d.WriteOps.Name = spec.Name + ".writes"
+	d.Failed.Name = spec.Name + ".failed"
+	d.Dropped.Name = spec.Name + ".dropped"
 	return d
 }
 
@@ -181,11 +205,92 @@ func (d *Device) SlotLink() *pcie.Link { return d.slot }
 // MediaLink exposes the device's internal-bandwidth link.
 func (d *Device) MediaLink() *pcie.Link { return d.internal }
 
+// --- fault state (the faults.Target interface) ---
+
+// Fail kills the device permanently: every subsequent op completes fast
+// with ErrDown. Data held on the device is considered lost.
+func (d *Device) Fail() { d.down = true; d.stalled = false }
+
+// Stall starts a transient outage: ops are silently dropped until Recover.
+// Only the initiator's timeout notices — this models RDMA link flaps and
+// NVMe controller resets, where requests vanish without a completion.
+func (d *Device) Stall() {
+	if !d.down {
+		d.stalled = true
+	}
+}
+
+// Degrade multiplies base op latency by lat (clamped to >= 1) and scales
+// the media-link bandwidth by bw (clamped to (0, 1]); the fluid-flow
+// arbiter rebalances all in-flight transfers immediately.
+func (d *Device) Degrade(lat, bw float64) {
+	if d.down {
+		return
+	}
+	if lat < 1 {
+		lat = 1
+	}
+	if bw <= 0 || bw > 1 {
+		bw = 1
+	}
+	d.latFactor = lat
+	d.internal.SetCapacity(units.BytesPerSec(float64(d.spec.Bandwidth) * bw))
+	d.fabric.Rebalance()
+}
+
+// Recover restores full health after a Stall or Degrade. A Failed device
+// stays down: permanent death has no recovery path short of rebuilding it.
+func (d *Device) Recover() {
+	if d.down {
+		return
+	}
+	d.stalled = false
+	d.latFactor = 1
+	d.internal.SetCapacity(d.spec.Bandwidth)
+	d.fabric.Rebalance()
+}
+
+// Down reports whether the device has failed permanently.
+func (d *Device) Down() bool { return d.down }
+
+// Stalled reports whether the device is in a transient outage window.
+func (d *Device) Stalled() bool { return d.stalled }
+
+// Healthy reports whether the device is fully operational (not down, not
+// stalled, not latency- or bandwidth-degraded).
+func (d *Device) Healthy() bool {
+	return !d.down && !d.stalled && d.latFactor == 1 &&
+		d.internal.Capacity() == d.spec.Bandwidth
+}
+
 // Submit enqueues an operation; done (if non-nil) fires at completion with
-// the end-to-end latency including channel queueing.
+// the end-to-end latency including channel queueing. Under faults, done
+// only fires if the op succeeds — callers that need failure notification
+// use SubmitResult.
 func (d *Device) Submit(op Op, done func(lat sim.Duration)) {
+	d.SubmitResult(op, func(lat sim.Duration, err error) {
+		if err == nil && done != nil {
+			done(lat)
+		}
+	})
+}
+
+// SubmitResult enqueues an operation and reports the outcome: done fires
+// with err == nil on success, or err == ErrDown (after FailFastLatency) if
+// the device is dead. While the device is stalled the op is dropped and
+// done never fires — initiators recover via their own timeout (see
+// swap.RetryPolicy).
+func (d *Device) SubmitResult(op Op, done func(lat sim.Duration, err error)) {
 	if op.Size <= 0 {
 		panic(fmt.Sprintf("device %q: op with non-positive size", d.spec.Name))
+	}
+	if d.stalled {
+		d.Dropped.Inc()
+		return
+	}
+	if d.down {
+		d.failFast(done)
+		return
 	}
 	start := d.eng.Now()
 	ch := d.readCh
@@ -193,12 +298,25 @@ func (d *Device) Submit(op Op, done func(lat sim.Duration)) {
 		ch = d.writeCh
 	}
 	ch.Acquire(1, func() {
+		// The device may have faulted while the op sat in the queue.
+		if d.stalled || d.down {
+			ch.Release(1)
+			if d.down {
+				d.failFast(done)
+			} else {
+				d.Dropped.Inc()
+			}
+			return
+		}
 		base := d.spec.ReadLatency
 		if op.Write {
 			base = d.spec.WriteLatency
 		}
 		if !op.Sequential {
 			base += d.spec.RandomPenalty
+		}
+		if d.latFactor > 1 {
+			base = sim.Duration(float64(base) * d.latFactor)
 		}
 		d.eng.After(base, func() {
 			path := make([]*pcie.Link, 0, 2+len(d.extra))
@@ -217,11 +335,18 @@ func (d *Device) Submit(op Op, done func(lat sim.Duration)) {
 				}
 				d.Latency.Add(lat.Microseconds())
 				if done != nil {
-					done(lat)
+					done(lat, nil)
 				}
 			})
 		})
 	})
+}
+
+func (d *Device) failFast(done func(lat sim.Duration, err error)) {
+	d.Failed.Inc()
+	if done != nil {
+		d.eng.After(FailFastLatency, func() { done(FailFastLatency, ErrDown) })
+	}
 }
 
 // TotalBytes reports all payload moved through the device.

@@ -1,0 +1,236 @@
+// Package faults injects deterministic failures into the simulated
+// far-memory substrate: permanent device death, transient unavailability
+// windows (RDMA link flaps, NVMe controller resets), latency/bandwidth
+// degradation (SSD wear, congested NICs), and remote-node crashes. Fault
+// schedules are generated from a seed and driven entirely by the virtual
+// clock, so every failure scenario replays byte-identically.
+//
+// The package deliberately depends only on internal/sim: anything that can
+// fail implements the small Target interface (internal/device.Device does),
+// and anything that watches backend health feeds a Monitor (internal/swap
+// paths do). That keeps the dependency graph acyclic — device, swap, and
+// datacenter all sit above faults, never below it.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies a fault event.
+type Kind int
+
+const (
+	// Crash is permanent device death: every subsequent op fails fast
+	// (controller abort / NIC completion-with-error). The device does not
+	// come back; data held on it is lost.
+	Crash Kind = iota
+	// Flap is a transient unavailability window (RDMA link flap, NVMe
+	// controller reset): ops submitted during the window are silently
+	// dropped — only the initiator's timeout notices. The device recovers
+	// after Duration with data intact.
+	Flap
+	// Degrade multiplies op latency and scales device bandwidth for
+	// Duration (0 = until the end of the run): a worn SSD or congested
+	// NIC that is slow but not dead.
+	Degrade
+)
+
+// String names the kind for tables and logs.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Flap:
+		return "flap"
+	case Degrade:
+		return "degrade"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scheduled fault. At is an offset from the moment the
+// schedule is applied (Injector.Apply), not an absolute time, so the same
+// schedule can be replayed against any warm-up prefix.
+type Event struct {
+	At       sim.Duration // offset from Apply time
+	Target   string       // device name (Injector.Register)
+	Kind     Kind
+	Duration sim.Duration // Flap/Degrade window; ignored for Crash
+	// Degrade parameters: op latency is multiplied by LatencyFactor
+	// (>= 1), device bandwidth by BandwidthFactor (0 < f <= 1).
+	LatencyFactor   float64
+	BandwidthFactor float64
+}
+
+// Schedule is an ordered list of fault events.
+type Schedule struct {
+	Events []Event
+}
+
+// Sort orders events by time, then target, for deterministic application.
+func (s *Schedule) Sort() {
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		if s.Events[i].At != s.Events[j].At {
+			return s.Events[i].At < s.Events[j].At
+		}
+		return s.Events[i].Target < s.Events[j].Target
+	})
+}
+
+// GenConfig parameterises random schedule generation.
+type GenConfig struct {
+	Targets     []string     // candidate devices (round-robin weighted by rng)
+	Horizon     sim.Duration // events land in [0, Horizon)
+	Events      int          // how many events to generate
+	CrashWeight float64      // relative weights of the three kinds;
+	FlapWeight  float64      // all zero = Flap only
+	DegradeWt   float64
+	FlapMean    sim.Duration // mean flap window (exponential), default 10s
+	DegradeMean sim.Duration // mean degrade window, default 30s
+}
+
+// Generate builds a deterministic random schedule: the same config and seed
+// always produce the same events. Used by tests and by scripted chaos runs;
+// experiments that need a precise scenario construct Events directly.
+func Generate(cfg GenConfig, seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	if cfg.FlapMean <= 0 {
+		cfg.FlapMean = 10 * sim.Second
+	}
+	if cfg.DegradeMean <= 0 {
+		cfg.DegradeMean = 30 * sim.Second
+	}
+	total := cfg.CrashWeight + cfg.FlapWeight + cfg.DegradeWt
+	if total <= 0 {
+		cfg.FlapWeight, total = 1, 1
+	}
+	var s Schedule
+	for i := 0; i < cfg.Events && len(cfg.Targets) > 0 && cfg.Horizon > 0; i++ {
+		ev := Event{
+			At:     sim.Duration(rng.Int63n(int64(cfg.Horizon))),
+			Target: cfg.Targets[rng.Intn(len(cfg.Targets))],
+		}
+		switch p := rng.Float64() * total; {
+		case p < cfg.CrashWeight:
+			ev.Kind = Crash
+		case p < cfg.CrashWeight+cfg.FlapWeight:
+			ev.Kind = Flap
+			ev.Duration = expDuration(rng, cfg.FlapMean)
+		default:
+			ev.Kind = Degrade
+			ev.Duration = expDuration(rng, cfg.DegradeMean)
+			ev.LatencyFactor = 1 + rng.Float64()*9 // 1x..10x
+			ev.BandwidthFactor = 0.1 + rng.Float64()*0.9
+		}
+		s.Events = append(s.Events, ev)
+	}
+	s.Sort()
+	return s
+}
+
+func expDuration(rng *rand.Rand, mean sim.Duration) sim.Duration {
+	d := sim.Duration(rng.ExpFloat64() * float64(mean))
+	if d < sim.Millisecond {
+		d = sim.Millisecond
+	}
+	return d
+}
+
+// Target is anything the injector can break. internal/device.Device
+// implements it; other layers can too.
+type Target interface {
+	Name() string
+	// Fail kills the target permanently: ops fail fast from now on.
+	Fail()
+	// Stall makes the target silently drop ops (transient outage).
+	Stall()
+	// Degrade multiplies op latency by lat (>= 1) and scales bandwidth
+	// by bw (0 < bw <= 1).
+	Degrade(lat, bw float64)
+	// Recover restores full health (ends a Stall or Degrade window).
+	Recover()
+}
+
+// Injector arms fault events against registered targets on a virtual
+// clock. Recovery events scheduled for a target that has since crashed are
+// skipped — permanent death wins.
+type Injector struct {
+	eng     *sim.Engine
+	targets map[string]Target
+	crashed map[string]bool
+	// Injected logs every event actually applied, in application order.
+	Injected []Event
+	// OnFault, when set, observes each applied event (telemetry hook).
+	OnFault func(Event)
+}
+
+// NewInjector creates an injector bound to eng.
+func NewInjector(eng *sim.Engine) *Injector {
+	return &Injector{
+		eng:     eng,
+		targets: make(map[string]Target),
+		crashed: make(map[string]bool),
+	}
+}
+
+// Register makes t eligible as a fault target under t.Name().
+func (in *Injector) Register(t Target) { in.targets[t.Name()] = t }
+
+// Apply schedules every event in s relative to the current virtual time.
+// Events naming unregistered targets are ignored (returned count excludes
+// them). Apply may be called multiple times; schedules compose.
+func (in *Injector) Apply(s Schedule) int {
+	s.Sort()
+	armed := 0
+	for _, ev := range s.Events {
+		t, ok := in.targets[ev.Target]
+		if !ok {
+			continue
+		}
+		armed++
+		ev := ev
+		in.eng.After(ev.At, func() { in.fire(t, ev) })
+	}
+	return armed
+}
+
+func (in *Injector) fire(t Target, ev Event) {
+	if in.crashed[ev.Target] {
+		return // dead targets stay dead
+	}
+	switch ev.Kind {
+	case Crash:
+		in.crashed[ev.Target] = true
+		t.Fail()
+	case Flap:
+		t.Stall()
+		in.eng.After(ev.Duration, func() { in.recover(t, ev.Target) })
+	case Degrade:
+		lat, bw := ev.LatencyFactor, ev.BandwidthFactor
+		if lat < 1 {
+			lat = 1
+		}
+		if bw <= 0 || bw > 1 {
+			bw = 1
+		}
+		t.Degrade(lat, bw)
+		if ev.Duration > 0 {
+			in.eng.After(ev.Duration, func() { in.recover(t, ev.Target) })
+		}
+	}
+	in.Injected = append(in.Injected, ev)
+	if in.OnFault != nil {
+		in.OnFault(ev)
+	}
+}
+
+func (in *Injector) recover(t Target, name string) {
+	if in.crashed[name] {
+		return
+	}
+	t.Recover()
+}

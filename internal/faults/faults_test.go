@@ -1,0 +1,188 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeTarget records the fault transitions applied to it.
+type fakeTarget struct {
+	name   string
+	events []string
+}
+
+func (f *fakeTarget) Name() string { return f.name }
+func (f *fakeTarget) Fail()        { f.events = append(f.events, "fail") }
+func (f *fakeTarget) Stall()       { f.events = append(f.events, "stall") }
+func (f *fakeTarget) Degrade(lat, bw float64) {
+	f.events = append(f.events, "degrade")
+}
+func (f *fakeTarget) Recover() { f.events = append(f.events, "recover") }
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{
+		Targets:     []string{"ssd", "rdma", "dram"},
+		Horizon:     60 * sim.Second,
+		Events:      32,
+		CrashWeight: 1, FlapWeight: 3, DegradeWt: 2,
+	}
+	a := Generate(cfg, 42)
+	b := Generate(cfg, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config+seed produced different schedules")
+	}
+	if len(a.Events) != 32 {
+		t.Fatalf("generated %d events, want 32", len(a.Events))
+	}
+	c := Generate(cfg, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for _, ev := range a.Events {
+		if ev.At < 0 || ev.At >= cfg.Horizon {
+			t.Fatalf("event at %v outside horizon", ev.At)
+		}
+		if ev.Kind == Degrade && (ev.LatencyFactor < 1 || ev.BandwidthFactor <= 0 || ev.BandwidthFactor > 1) {
+			t.Fatalf("degrade factors out of range: %+v", ev)
+		}
+	}
+}
+
+func TestScheduleSortStable(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{At: 2 * sim.Second, Target: "b"},
+		{At: 1 * sim.Second, Target: "z"},
+		{At: 2 * sim.Second, Target: "a"},
+	}}
+	s.Sort()
+	got := []string{s.Events[0].Target, s.Events[1].Target, s.Events[2].Target}
+	want := []string{"z", "a", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sort order %v, want %v", got, want)
+	}
+}
+
+func TestInjectorFlapRecovers(t *testing.T) {
+	eng := sim.NewEngine()
+	in := NewInjector(eng)
+	ft := &fakeTarget{name: "dev"}
+	in.Register(ft)
+	n := in.Apply(Schedule{Events: []Event{
+		{At: sim.Second, Target: "dev", Kind: Flap, Duration: 2 * sim.Second},
+		{At: sim.Second, Target: "ghost", Kind: Crash}, // unregistered: ignored
+	}})
+	if n != 1 {
+		t.Fatalf("armed %d events, want 1 (ghost target skipped)", n)
+	}
+	eng.Run()
+	if !reflect.DeepEqual(ft.events, []string{"stall", "recover"}) {
+		t.Fatalf("flap transitions %v, want [stall recover]", ft.events)
+	}
+	if len(in.Injected) != 1 {
+		t.Fatalf("Injected log has %d entries, want 1", len(in.Injected))
+	}
+}
+
+func TestInjectorCrashWinsOverRecovery(t *testing.T) {
+	eng := sim.NewEngine()
+	in := NewInjector(eng)
+	ft := &fakeTarget{name: "dev"}
+	in.Register(ft)
+	// Flap window ends at t=3s, but the device crashes at t=2s: the
+	// recovery must be skipped and the later degrade must not apply.
+	in.Apply(Schedule{Events: []Event{
+		{At: sim.Second, Target: "dev", Kind: Flap, Duration: 2 * sim.Second},
+		{At: 2 * sim.Second, Target: "dev", Kind: Crash},
+		{At: 4 * sim.Second, Target: "dev", Kind: Degrade, Duration: sim.Second,
+			LatencyFactor: 2, BandwidthFactor: 0.5},
+	}})
+	eng.Run()
+	if !reflect.DeepEqual(ft.events, []string{"stall", "fail"}) {
+		t.Fatalf("transitions %v, want [stall fail] (dead targets stay dead)", ft.events)
+	}
+}
+
+func TestInjectorOffsetsRelativeToApply(t *testing.T) {
+	eng := sim.NewEngine()
+	in := NewInjector(eng)
+	ft := &fakeTarget{name: "dev"}
+	in.Register(ft)
+	var firedAt sim.Time
+	in.OnFault = func(Event) { firedAt = eng.Now() }
+	// Warm up the clock, then apply: the event must land at now+offset.
+	eng.After(10*sim.Second, func() {
+		in.Apply(Schedule{Events: []Event{{At: 3 * sim.Second, Target: "dev", Kind: Crash}}})
+	})
+	eng.Run()
+	if want := sim.Time(0).Add(13 * sim.Second); firedAt != want {
+		t.Fatalf("fault fired at %v, want %v", firedAt, want)
+	}
+}
+
+func TestMonitorTripsAndLatches(t *testing.T) {
+	m := NewMonitor("be")
+	trips := 0
+	m.OnUnhealthy = func() { trips++ }
+	for i := 0; i < 4; i++ {
+		m.Record(true)
+	}
+	if m.Unhealthy() {
+		t.Fatal("healthy monitor reported unhealthy")
+	}
+	for i := 0; i < 32; i++ {
+		m.Record(false)
+	}
+	if !m.Unhealthy() {
+		t.Fatalf("monitor did not trip (error rate %.2f)", m.ErrorRate())
+	}
+	if trips != 1 {
+		t.Fatalf("OnUnhealthy fired %d times, want exactly 1 (latched)", trips)
+	}
+	// Further failures must not re-fire the latched callback.
+	m.Record(false)
+	if trips != 1 {
+		t.Fatalf("latched callback re-fired (%d)", trips)
+	}
+	m.Reset()
+	if m.Unhealthy() {
+		t.Fatal("Reset did not clear unhealthy state")
+	}
+	for i := 0; i < 32; i++ {
+		m.Record(false)
+	}
+	if trips != 2 {
+		t.Fatalf("re-armed monitor fired %d trips, want 2", trips)
+	}
+}
+
+func TestMonitorNeedsMinSamples(t *testing.T) {
+	m := NewMonitor("be")
+	// Fewer than MinSamples failures: too little evidence to demote.
+	for i := 0; i < 4; i++ {
+		m.Record(false)
+	}
+	if m.Unhealthy() {
+		t.Fatal("monitor tripped below MinSamples")
+	}
+}
+
+func TestMonitorRecoversOnSuccesses(t *testing.T) {
+	m := NewMonitor("be")
+	// Stay below both trip conditions: a short error burst, not an outage.
+	for i := 0; i < 3; i++ {
+		m.Record(false)
+	}
+	// A healthy stretch dilutes the window and breaks the consecutive-failure
+	// streak before the monitor accumulates enough evidence.
+	for i := 0; i < 64; i++ {
+		m.Record(true)
+	}
+	if m.Unhealthy() {
+		t.Fatal("monitor tripped despite recovery")
+	}
+	if m.ErrorRate() > 0.2 {
+		t.Fatalf("error rate %.2f did not decay", m.ErrorRate())
+	}
+}

@@ -1,0 +1,131 @@
+package faults
+
+// Monitor is a per-backend health detector fed by the swap path: every op
+// outcome (success, timeout, error) is Recorded, and when the failure share
+// over a sliding window crosses Threshold — or TripConsecutive failures
+// arrive back to back — the monitor latches unhealthy and fires OnUnhealthy
+// exactly once. The failure-aware switching controller uses that signal to
+// demote the backend and live-switch the VM (DESIGN.md "Failure model").
+//
+// The window decays by halving counts when full, so a long healthy history
+// cannot mask a sudden failure burst, and a recovered backend does not stay
+// condemned by ancient errors if the monitor is Reset and reused.
+type Monitor struct {
+	// Backend labels the monitored backend in logs and tables.
+	Backend string
+	// Window is the op count per evaluation window (default 64).
+	Window int
+	// Threshold is the failure share that trips unhealthy (default 0.5).
+	Threshold float64
+	// MinSamples gates the threshold test (default 8): a single early
+	// failure must not condemn a backend.
+	MinSamples int
+	// TripConsecutive failures in a row trip immediately regardless of
+	// the window share (default 6): fast detection of hard outages.
+	TripConsecutive int
+	// OnUnhealthy fires exactly once, at the Record that trips the
+	// monitor. It runs inline in engine context, so it may schedule
+	// events (e.g. start a backend switch).
+	OnUnhealthy func()
+
+	ok, fail   int // current window
+	consecFail int
+	unhealthy  bool
+	successes  uint64
+	failures   uint64
+}
+
+// NewMonitor returns a monitor with default thresholds for backend.
+func NewMonitor(backend string) *Monitor {
+	return &Monitor{
+		Backend:         backend,
+		Window:          64,
+		Threshold:       0.5,
+		MinSamples:      8,
+		TripConsecutive: 6,
+	}
+}
+
+// Record feeds one op outcome.
+func (m *Monitor) Record(succeeded bool) {
+	if succeeded {
+		m.successes++
+		m.ok++
+		m.consecFail = 0
+	} else {
+		m.failures++
+		m.fail++
+		m.consecFail++
+	}
+	if m.ok+m.fail >= m.window() {
+		// Decay: keep the trend, forget the bulk.
+		m.ok /= 2
+		m.fail /= 2
+	}
+	if m.unhealthy {
+		return
+	}
+	tripped := m.consecFail >= m.tripConsecutive()
+	if n := m.ok + m.fail; !tripped && n >= m.minSamples() {
+		tripped = float64(m.fail)/float64(n) >= m.threshold()
+	}
+	if tripped {
+		m.unhealthy = true
+		if m.OnUnhealthy != nil {
+			m.OnUnhealthy()
+		}
+	}
+}
+
+// Unhealthy reports whether the monitor has latched.
+func (m *Monitor) Unhealthy() bool { return m.unhealthy }
+
+// ErrorRate reports the failure share of the current window (0 with no
+// samples).
+func (m *Monitor) ErrorRate() float64 {
+	if n := m.ok + m.fail; n > 0 {
+		return float64(m.fail) / float64(n)
+	}
+	return 0
+}
+
+// Successes reports total ops recorded as succeeded.
+func (m *Monitor) Successes() uint64 { return m.successes }
+
+// Failures reports total ops recorded as failed.
+func (m *Monitor) Failures() uint64 { return m.failures }
+
+// Reset clears window state and the unhealthy latch so the monitor can be
+// re-armed (e.g. after the faulted backend was repaired and re-admitted).
+func (m *Monitor) Reset() {
+	m.ok, m.fail, m.consecFail = 0, 0, 0
+	m.unhealthy = false
+}
+
+func (m *Monitor) window() int {
+	if m.Window <= 0 {
+		return 64
+	}
+	return m.Window
+}
+
+func (m *Monitor) threshold() float64 {
+	if m.Threshold <= 0 {
+		return 0.5
+	}
+	return m.Threshold
+}
+
+func (m *Monitor) minSamples() int {
+	if m.MinSamples <= 0 {
+		return 8
+	}
+	return m.MinSamples
+}
+
+func (m *Monitor) tripConsecutive() int {
+	if m.TripConsecutive <= 0 {
+		return 6
+	}
+	return m.TripConsecutive
+}

@@ -46,7 +46,18 @@ type Backend interface {
 	// SetWidth adjusts the I/O width.
 	SetWidth(w int)
 	// Submit performs the extent transfer; done fires with its latency.
+	// Under faults, done only fires when the transfer succeeds.
 	Submit(ex Extent, done func(lat sim.Duration))
+}
+
+// ResultBackend is implemented by backends that can report op failure.
+// done always fires exactly once with err != nil when any part of the
+// extent failed — unless the underlying device is stalled (transient
+// outage), in which case the op is silently lost and only the initiator's
+// timeout (RetryPolicy) notices.
+type ResultBackend interface {
+	Backend
+	SubmitResult(ex Extent, done func(lat sim.Duration, err error))
 }
 
 // channelOverhead is the per-operation management cost of each extra I/O
@@ -131,8 +142,22 @@ func (b *DeviceBackend) SetWidth(w int) {
 
 // Submit implements Backend. Extents larger than one page are striped across
 // up to Width() parallel sub-operations; every operation pays the per-channel
-// management overhead for the configured width.
+// management overhead for the configured width. done only fires when the
+// whole extent succeeds; use SubmitResult for failure notification.
 func (b *DeviceBackend) Submit(ex Extent, done func(lat sim.Duration)) {
+	b.SubmitResult(ex, func(lat sim.Duration, err error) {
+		if err == nil && done != nil {
+			done(lat)
+		}
+	})
+}
+
+// SubmitResult implements ResultBackend: like Submit, but done reports the
+// first error among the extent's stripes (a dead device rejects each stripe
+// with device.ErrDown after device.FailFastLatency). A stalled device drops
+// stripes silently, so done never fires and the extent counts as pending
+// until the initiator times out.
+func (b *DeviceBackend) SubmitResult(ex Extent, done func(lat sim.Duration, err error)) {
 	if ex.Pages <= 0 {
 		panic("swap: extent with no pages")
 	}
@@ -161,12 +186,16 @@ func (b *DeviceBackend) Submit(ex Extent, done func(lat sim.Duration)) {
 
 	b.pending++
 	remaining := stripes
-	finish := func(sim.Duration) {
+	var firstErr error
+	finish := func(_ sim.Duration, err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
 		remaining--
 		if remaining == 0 {
 			b.pending--
 			if done != nil {
-				done(b.eng.Now().Sub(start))
+				done(b.eng.Now().Sub(start), firstErr)
 			}
 		}
 	}
@@ -183,7 +212,7 @@ func (b *DeviceBackend) Submit(ex Extent, done func(lat sim.Duration)) {
 				// within their channel; random extents stay random.
 				Sequential: ex.Sequential,
 			}
-			b.dev.Submit(op, finish)
+			b.dev.SubmitResult(op, finish)
 		}
 	})
 }

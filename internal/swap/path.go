@@ -1,6 +1,7 @@
 package swap
 
 import (
+	"repro/internal/device"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -24,7 +25,52 @@ const (
 	// DefaultHostWorkers is the host-side swap worker parallelism
 	// (kswapd-like threads) shared by all VMs on the hierarchical path.
 	DefaultHostWorkers = 4
+
+	// DefaultRetryBackoff is the base of the exponential backoff between
+	// retry attempts (attempt k waits base << (k-1)). 5 ms sits well above
+	// any healthy op latency, so retries never amplify transient queueing
+	// into congestion collapse, yet three attempts still resolve within
+	// tens of milliseconds.
+	DefaultRetryBackoff = 5 * sim.Millisecond
 )
+
+// RetryPolicy bounds how long the swap path waits on a backend before
+// declaring an op lost and retrying. The zero value disables timeouts —
+// ops wait forever, the pre-fault behaviour — so existing paths are
+// unaffected unless a policy is set.
+type RetryPolicy struct {
+	// Timeout is the per-attempt deadline. <= 0 disables the machinery.
+	Timeout sim.Duration
+	// MaxRetries is how many times a timed-out or errored op is retried
+	// before failing through (0 = single attempt).
+	MaxRetries int
+	// Backoff is the base of the exponential backoff between attempts;
+	// attempt k waits Backoff << (k-1). Zero uses DefaultRetryBackoff.
+	Backoff sim.Duration
+}
+
+// DefaultRetryPolicy returns the per-kind timeout/retry policy used by
+// failure-aware paths. Timeouts are ~100x a healthy op's worst-case
+// latency for the medium, so false positives need sustained congestion,
+// while a stalled device is detected within tens of milliseconds.
+func DefaultRetryPolicy(k device.Kind) RetryPolicy {
+	p := RetryPolicy{MaxRetries: 2, Backoff: DefaultRetryBackoff}
+	switch k {
+	case device.SSD, device.HDD:
+		p.Timeout = 50 * sim.Millisecond
+	case device.RDMA, device.DPU:
+		p.Timeout = 10 * sim.Millisecond
+	default: // DRAM-class media
+		p.Timeout = 5 * sim.Millisecond
+	}
+	return p
+}
+
+// HealthSink observes per-op outcomes for failure detection.
+// faults.Monitor implements it.
+type HealthSink interface {
+	Record(succeeded bool)
+}
 
 // HostSwapStage is the host operating system's swap layer, shared by every
 // VM on the machine when the hierarchical path is used.
@@ -50,12 +96,24 @@ type Path struct {
 	hierarchical bool
 	hostStage    *HostSwapStage
 
+	// Retry configures per-op timeout and bounded retry with exponential
+	// backoff. The zero value preserves the legacy wait-forever behaviour.
+	Retry RetryPolicy
+
+	// Health, when non-nil, observes every attempt outcome (success,
+	// timeout, backend error) for failure detection.
+	Health HealthSink
+
 	// Stats.
 	SwapIns   metrics.Counter
 	SwapOuts  metrics.Counter
 	PagesIn   uint64
 	PagesOut  uint64
 	InLatency metrics.Summary // per swap-in op latency, µs
+	Timeouts  metrics.Counter // attempts abandoned at Retry.Timeout
+	Errors    metrics.Counter // attempts completed with a backend error
+	Retries   metrics.Counter // re-submissions after timeout/error
+	FailedOps metrics.Counter // ops that exhausted all retries
 }
 
 // NewPath builds a host-bypass path (xDM's shape): frontend → channel →
@@ -136,13 +194,96 @@ func (p *Path) submit(ex Extent, done func(lat sim.Duration)) {
 // hierarchical.
 func (p *Path) dispatch(ex Extent, done func()) {
 	if !p.hierarchical {
-		p.backend.Submit(ex, func(sim.Duration) { done() })
+		p.send(ex, done)
 		return
 	}
 	// Hierarchical: host hop (shared stage) + per-page copy, then the host
 	// performs the device operation.
 	hostWork := HostHopOverhead + sim.Duration(ex.Pages)*HostCopyPerPage
 	p.hostStage.station.Submit(hostWork, func(sim.Duration) {
-		p.backend.Submit(ex, func(sim.Duration) { done() })
+		p.send(ex, done)
 	})
+}
+
+// send submits the extent to the backend under the path's retry policy.
+// Without a policy (and with no health sink) it is a direct submit that
+// waits forever — exactly the pre-fault behaviour. With one, each attempt
+// races the backend against Retry.Timeout; timeouts and backend errors are
+// retried with exponential backoff, and an op that exhausts its retries
+// fails through: done still fires (the task must not hang), the loss is
+// charged upstream via re-fetch accounting and counted in FailedOps.
+func (p *Path) send(ex Extent, done func()) {
+	if p.Retry.Timeout <= 0 && p.Health == nil {
+		p.backend.Submit(ex, func(sim.Duration) { done() })
+		return
+	}
+	attempt := 0
+	var try func()
+	try = func() {
+		settled := false
+		var timer sim.Handle
+		hasTimer := false
+		outcome := func(err error) {
+			if settled {
+				return // late completion of an attempt the timer abandoned
+			}
+			settled = true
+			if hasTimer {
+				timer.Cancel(p.eng)
+			}
+			if err == nil {
+				if p.Health != nil {
+					p.Health.Record(true)
+				}
+				done()
+				return
+			}
+			p.Errors.Inc()
+			if p.Health != nil {
+				p.Health.Record(false)
+			}
+			p.failOrRetry(&attempt, try, done)
+		}
+		p.submitOnce(ex, outcome)
+		if p.Retry.Timeout > 0 {
+			timer = p.eng.After(p.Retry.Timeout, func() {
+				if settled {
+					return
+				}
+				settled = true
+				p.Timeouts.Inc()
+				if p.Health != nil {
+					p.Health.Record(false)
+				}
+				p.failOrRetry(&attempt, try, done)
+			})
+			hasTimer = true
+		}
+	}
+	try()
+}
+
+// submitOnce performs one backend attempt, surfacing errors when the
+// backend can report them.
+func (p *Path) submitOnce(ex Extent, outcome func(err error)) {
+	if rb, ok := p.backend.(ResultBackend); ok {
+		rb.SubmitResult(ex, func(_ sim.Duration, err error) { outcome(err) })
+		return
+	}
+	p.backend.Submit(ex, func(sim.Duration) { outcome(nil) })
+}
+
+func (p *Path) failOrRetry(attempt *int, try func(), done func()) {
+	if *attempt < p.Retry.MaxRetries {
+		*attempt++
+		p.Retries.Inc()
+		backoff := p.Retry.Backoff
+		if backoff <= 0 {
+			backoff = DefaultRetryBackoff
+		}
+		p.eng.After(backoff<<(*attempt-1), try)
+		return
+	}
+	p.FailedOps.Inc()
+	done()
 }

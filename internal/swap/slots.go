@@ -68,6 +68,26 @@ func (a *SlotAllocator) Release(page int32) {
 	a.live--
 }
 
+// DropAll reclaims every occupied slot exactly once — the backend-loss
+// path: when the device holding the swap space dies, all far copies are
+// gone and their slots return to the free pool. Already-free slots are
+// untouched (no double-free), and every page's slot mapping is cleared.
+// It returns the number of slots reclaimed.
+func (a *SlotAllocator) DropAll() int {
+	n := 0
+	for slot, page := range a.seq {
+		if page < 0 {
+			continue
+		}
+		a.seq[slot] = -1
+		a.slotOf[page] = -1
+		a.free = append(a.free, int32(slot))
+		a.live--
+		n++
+	}
+	return n
+}
+
 // SlotOf reports page's current slot, or -1.
 func (a *SlotAllocator) SlotOf(page int32) int32 { return a.slotOf[page] }
 

@@ -1,0 +1,106 @@
+package task
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// lostSpec forces heavy swapping: a tight local budget over a uniform
+// random footprint, so far copies accumulate quickly.
+func lostSpec() workload.Spec {
+	s := smallSpec()
+	s.AnonFraction = 1
+	s.SeqShare = 0
+	s.HotShare = 1
+	s.HotProb = 0
+	s.MainAccesses = 8192
+	return s
+}
+
+func TestDropFarCopiesMarksAndRepays(t *testing.T) {
+	r := newRig()
+	cfg := Config{
+		Eng: r.eng, Name: "t", Spec: lostSpec(), Seed: 1,
+		LocalRatio: 0.5, SwapPath: r.path(r.rdma, 4), FilePath: r.path(r.ssd, 4),
+		RefetchPenalty: 150 * sim.Microsecond,
+	}
+	tk := New(cfg)
+	var dropped int
+	// Let the task build up far copies, then lose the backend mid-run.
+	r.eng.After(5*sim.Millisecond, func() { dropped = tk.DropFarCopies() })
+	finished := false
+	var out Stats
+	tk.Start(func(s Stats) { out = s; finished = true })
+	r.eng.Run()
+	if !finished {
+		t.Fatal("task did not finish")
+	}
+	if dropped == 0 {
+		t.Fatal("no far copies existed at drop time; scenario broken")
+	}
+	if out.LostPages != uint64(dropped) {
+		t.Fatalf("LostPages=%d, DropFarCopies returned %d", out.LostPages, dropped)
+	}
+	if out.LostRefaults == 0 {
+		t.Fatal("no lost page was ever re-faulted")
+	}
+	if out.LostRefaults > out.LostPages {
+		t.Fatalf("LostRefaults=%d > LostPages=%d: a page repaid the penalty twice",
+			out.LostRefaults, out.LostPages)
+	}
+}
+
+func TestDropFarCopiesIdempotentWhenEmpty(t *testing.T) {
+	r := newRig()
+	cfg := Config{
+		Eng: r.eng, Name: "t", Spec: lostSpec(), Seed: 1,
+		LocalRatio: 1.0, SwapPath: r.path(r.rdma, 4), FilePath: r.path(r.ssd, 4),
+	}
+	tk := New(cfg)
+	// Fully resident task: nothing to drop, and dropping twice is safe.
+	if n := tk.DropFarCopies(); n != 0 {
+		t.Fatalf("dropped %d copies from a fresh task", n)
+	}
+	if n := tk.DropFarCopies(); n != 0 {
+		t.Fatalf("second drop reclaimed %d copies", n)
+	}
+}
+
+func TestRefetchPenaltyChargedOnce(t *testing.T) {
+	// The same scenario with and without a penalty: the penalized run must
+	// be slower, by no more than LostRefaults x penalty (each lost page
+	// pays at most once).
+	run := func(penalty sim.Duration) Stats {
+		r := newRig()
+		cfg := Config{
+			Eng: r.eng, Name: "t", Spec: lostSpec(), Seed: 1,
+			LocalRatio: 0.5, SwapPath: r.path(r.rdma, 4), FilePath: r.path(r.ssd, 4),
+			RefetchPenalty: penalty,
+		}
+		tk := New(cfg)
+		r.eng.After(5*sim.Millisecond, func() { tk.DropFarCopies() })
+		var out Stats
+		finished := false
+		tk.Start(func(s Stats) { out = s; finished = true })
+		r.eng.Run()
+		if !finished {
+			t.Fatal("task did not finish")
+		}
+		return out
+	}
+	penalty := 10 * sim.Millisecond // large enough to dominate noise
+	free := run(0)
+	paid := run(penalty)
+	if paid.LostRefaults == 0 {
+		t.Fatal("no refaults to compare")
+	}
+	if paid.Runtime <= free.Runtime {
+		t.Fatalf("penalized run (%v) not slower than free run (%v)", paid.Runtime, free.Runtime)
+	}
+	maxExtra := sim.Duration(paid.LostRefaults+1) * penalty
+	if extra := paid.Runtime - free.Runtime; extra > maxExtra {
+		t.Fatalf("extra runtime %v exceeds LostRefaults x penalty %v", extra, maxExtra)
+	}
+}

@@ -99,6 +99,12 @@ type Config struct {
 	// accesses — the hook xDM's console uses for online retuning.
 	EpochAccesses int
 	OnEpoch       func(t *Task)
+
+	// RefetchPenalty is the extra per-page cost of re-materializing a page
+	// whose far-memory copy was lost to a backend failure (DropFarCopies):
+	// restoring from a replica, a checkpoint, or recomputation. Zero means
+	// lost pages refault as plain zero-fill.
+	RefetchPenalty sim.Duration
 }
 
 // Stats is the outcome of one task run.
@@ -119,6 +125,10 @@ type Stats struct {
 	// THP accounting.
 	HugeBackedPages uint64
 	HugeSplits      uint64
+
+	// Failure accounting.
+	LostPages    uint64 // far copies dropped by DropFarCopies
+	LostRefaults uint64 // lost pages re-materialized at RefetchPenalty
 }
 
 // BytesSwapped reports total swap traffic in bytes.
@@ -157,6 +167,9 @@ type Task struct {
 	slots *swap.SlotAllocator
 	// prefetched marks resident pages brought in by readahead, not demand.
 	prefetched []bool
+	// lost marks pages whose far copy died with a backend; their next
+	// fault pays RefetchPenalty on top of the zero-fill cost.
+	lost []bool
 
 	wbTokens *sim.Resource
 
@@ -216,6 +229,7 @@ func New(cfg Config) *Task {
 		slotValid:   make([]bool, n),
 		slots:       swap.NewSlotAllocator(n),
 		prefetched:  make([]bool, n),
+		lost:        make([]bool, n),
 		wbTokens:    sim.NewResource(cfg.Eng, maxOutstandingWritebacks),
 	}
 	if len(cfg.Sources) > 0 {
@@ -265,6 +279,26 @@ func (t *Task) SetGranularity(pages int) {
 // in this model; the backend switch machinery (internal/vm) accounts for the
 // migration cost.
 func (t *Task) SetSwapPath(p *swap.Path) { t.cfg.SwapPath = p }
+
+// DropFarCopies invalidates every far-memory copy the task holds — the
+// backend that stored them died. Swap slots are reclaimed exactly once
+// (SlotAllocator.DropAll) and each lost page is marked so its next fault
+// pays Config.RefetchPenalty on top of the zero-fill cost. It returns the
+// number of far copies dropped. The failover controller calls this when
+// live-switching away from a failed backend.
+func (t *Task) DropFarCopies() int {
+	n := 0
+	for id := range t.slotValid {
+		if t.slotValid[id] {
+			t.slotValid[id] = false
+			t.lost[id] = true
+			n++
+		}
+	}
+	t.slots.DropAll()
+	t.stats.LostPages += uint64(n)
+	return n
+}
 
 // Stats reports the task's statistics so far.
 func (t *Task) Stats() Stats { return t.stats }
@@ -356,12 +390,20 @@ func (t *Task) fault(w *worker, a workload.Access) {
 	}
 
 	if anon && !t.slotValid[a.Page] {
-		// Zero-fill minor fault: no far-memory read.
+		// Zero-fill minor fault: no far-memory read. A page whose far copy
+		// died with its backend additionally pays the re-fetch penalty
+		// (replica read / recomputation) the first time it is touched again.
+		cost := minorFaultCost
+		if t.lost[a.Page] {
+			t.lost[a.Page] = false
+			cost += t.cfg.RefetchPenalty
+			t.stats.LostRefaults++
+		}
 		t.reclaimFor(1)
 		t.makeResident(a.Page, false)
 		t.stats.MinorFaults++
-		t.stats.SysTime += minorFaultCost
-		t.eng.After(minorFaultCost, func() {
+		t.stats.SysTime += cost
+		t.eng.After(cost, func() {
 			// Another worker's reclaim may have evicted the page during the
 			// fault window; it will simply refault on next access.
 			if t.ps.Page(a.Page).Resident {

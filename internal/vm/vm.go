@@ -276,6 +276,18 @@ func (v *VM) HasWarmBackend(name string) bool {
 	return ok
 }
 
+// Activate points the VM's swapper at a warm backend without a runtime
+// switch — a provisioning-time choice, made before the guest runs, so it is
+// free. Retargeting a running VM must go through SwitchBackend and pay the
+// warm-switch cost.
+func (v *VM) Activate(name string) error {
+	if _, ok := v.warm[name]; !ok {
+		return fmt.Errorf("vm: backend %q is not warm", name)
+	}
+	v.active = name
+	return nil
+}
+
 // Path returns the VM's bypass swap path for its active backend.
 func (v *VM) Path() *swap.Path { return v.warm[v.active] }
 
@@ -288,16 +300,19 @@ func (v *VM) Channel() *swap.Channel { return v.channel }
 // SwitchBackend retargets the VM's swapper to the named backend. Warm
 // backends switch in SwitchCost (< 5 s); a cold backend pays the module
 // assembly cost and becomes warm. done fires when the switch completes.
-func (v *VM) SwitchBackend(name string, done func()) {
+// Naming a backend the machine does not have returns an error (the request
+// may come from spec- or policy-driven input, e.g. a failover controller
+// racing a topology change) and done never fires.
+func (v *VM) SwitchBackend(name string, done func()) error {
 	if name == v.active {
 		if done != nil {
 			v.machine.Eng.Immediately(done)
 		}
-		return
+		return nil
 	}
 	be, ok := v.machine.backends[name]
 	if !ok {
-		panic(fmt.Sprintf("vm: unknown backend %q", name))
+		return fmt.Errorf("vm: unknown backend %q", name)
 	}
 	oldKind := v.machine.backends[v.active].Kind()
 	var cost sim.Duration
@@ -320,6 +335,7 @@ func (v *VM) SwitchBackend(name string, done func()) {
 			done()
 		}
 	})
+	return nil
 }
 
 // Reboot restarts the guest (e.g. to apply an offline parameter), costing

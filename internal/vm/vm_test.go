@@ -273,3 +273,49 @@ func TestSharedPathUnknownBackendPanics(t *testing.T) {
 	}()
 	m.SharedPath("nope")
 }
+
+func TestActivateIsFreeProvisioningChoice(t *testing.T) {
+	eng := sim.NewEngine()
+	m := newMachine(eng)
+	v := m.CreateVM("vm", 2, 1024, []string{"rdma0", "ssd0"}, nil)
+	eng.Run()
+	if v.ActiveBackend() != "rdma0" {
+		t.Fatalf("default active %q, want first warm backend", v.ActiveBackend())
+	}
+	before := eng.Now()
+	if err := v.Activate("ssd0"); err != nil {
+		t.Fatal(err)
+	}
+	if v.ActiveBackend() != "ssd0" {
+		t.Fatalf("active %q after Activate", v.ActiveBackend())
+	}
+	eng.Run()
+	if eng.Now() != before || v.Switches != 0 {
+		t.Fatal("Activate cost time or counted as a switch")
+	}
+	// Only warm backends are eligible; cold ones need SwitchBackend.
+	if err := v.Activate("dram0"); err == nil {
+		t.Fatal("Activate accepted a cold backend")
+	}
+	if err := v.Activate("nope"); err == nil {
+		t.Fatal("Activate accepted an unknown backend")
+	}
+}
+
+func TestSwitchBackendUnknownReturnsError(t *testing.T) {
+	eng := sim.NewEngine()
+	m := newMachine(eng)
+	v := m.CreateVM("vm", 2, 1024, []string{"rdma0"}, nil)
+	eng.Run()
+	fired := false
+	if err := v.SwitchBackend("missing", func() { fired = true }); err == nil {
+		t.Fatal("switch to unknown backend did not error")
+	}
+	eng.Run()
+	if fired {
+		t.Fatal("done fired for a failed switch")
+	}
+	if v.Switches != 0 {
+		t.Fatalf("failed switch counted: %d", v.Switches)
+	}
+}

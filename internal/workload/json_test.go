@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadSpecsMalformedInputErrors pins the fuzz-found classes of bad input
+// as deterministic regressions: every one must return an error — never
+// panic, never silently accept.
+func TestLoadSpecsMalformedInputErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"truncated object", `[{`},
+		{"not json", `));DROP TABLE specs`},
+		{"wrong top-level type", `{"Name":"x"}`},
+		{"unknown field", `[{"Name":"x","FootprintPages":1,"MainAccesses":1,"Bogus":1}]`},
+		{"number into string", `[{"Name":42,"FootprintPages":1,"MainAccesses":1}]`},
+		{"string into int", `[{"Name":"x","FootprintPages":"many","MainAccesses":1}]`},
+		{"footprint overflow", `[{"Name":"x","FootprintPages":1e300,"MainAccesses":1}]`},
+		{"missing name", `[{"FootprintPages":1,"MainAccesses":1}]`},
+		{"zero footprint", `[{"Name":"x","FootprintPages":0,"MainAccesses":1}]`},
+		{"negative footprint", `[{"Name":"x","FootprintPages":-4,"MainAccesses":1}]`},
+		{"zero accesses", `[{"Name":"x","FootprintPages":1,"MainAccesses":0}]`},
+		{"anon fraction above one", `[{"Name":"x","FootprintPages":1,"MainAccesses":1,"AnonFraction":1.5}]`},
+		{"negative anon fraction", `[{"Name":"x","FootprintPages":1,"MainAccesses":1,"AnonFraction":-0.1}]`},
+		{"coverage above one", `[{"Name":"x","FootprintPages":1,"MainAccesses":1,"Coverage":2}]`},
+		{"negative seq share", `[{"Name":"x","FootprintPages":1,"MainAccesses":1,"SeqShare":-1}]`},
+		{"hot prob above one", `[{"Name":"x","FootprintPages":1,"MainAccesses":1,"HotProb":7}]`},
+		{"write fraction above one", `[{"Name":"x","FootprintPages":1,"MainAccesses":1,"WriteFraction":2}]`},
+		{"negative segment length", `[{"Name":"x","FootprintPages":1,"MainAccesses":1,"SegmentLen":-1}]`},
+		{"negative run length", `[{"Name":"x","FootprintPages":1,"MainAccesses":1,"RunLen":-1}]`},
+		{"negative compute", `[{"Name":"x","FootprintPages":1,"MainAccesses":1,"ComputePerAccess":-5}]`},
+		{"negative threads", `[{"Name":"x","FootprintPages":1,"MainAccesses":1,"Threads":-2}]`},
+		{"valid then invalid", `[{"Name":"ok","FootprintPages":8,"MainAccesses":8},{"Name":"bad","FootprintPages":-1,"MainAccesses":1}]`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("LoadSpecs panicked on %q: %v", tc.input, r)
+				}
+			}()
+			specs, err := LoadSpecs(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("LoadSpecs accepted malformed input, returned %d specs", len(specs))
+			}
+		})
+	}
+}
+
+// TestFindDoesNotPanic: unknown names report !ok; only the compile-time
+// constant ByName helper is allowed to panic.
+func TestFindDoesNotPanic(t *testing.T) {
+	if _, ok := Find("no-such-workload"); ok {
+		t.Fatal("Find invented a workload")
+	}
+	if s, ok := Find("lg-bfs"); !ok || s.Name != "lg-bfs" {
+		t.Fatalf("Find(lg-bfs) = %+v, %v", s, ok)
+	}
+}

@@ -213,13 +213,23 @@ func Specs() []Spec {
 	}
 }
 
-// ByName returns the spec with the given name, panicking on unknown names
-// (all call sites use compile-time constants).
-func ByName(name string) Spec {
+// Find returns the spec with the given name. The boolean reports whether
+// it exists — the right call for user-supplied names (CLI flags, JSON).
+func Find(name string) (Spec, bool) {
 	for _, s := range Specs() {
 		if s.Name == name {
-			return s
+			return s, true
 		}
 	}
-	panic("workload: unknown workload " + name)
+	return Spec{}, false
+}
+
+// ByName returns the spec with the given name, panicking on unknown names.
+// Only for compile-time constant names; user input goes through Find.
+func ByName(name string) Spec {
+	s, ok := Find(name)
+	if !ok {
+		panic("workload: unknown workload " + name)
+	}
+	return s
 }
