@@ -16,12 +16,19 @@ import (
 
 func main() {
 	var (
-		out    = flag.String("o", "results.txt", "output file ('-' for stdout only)")
-		scale  = flag.Int("scale", 1, "fidelity divisor: 1 = full workload sizes")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		format = flag.String("format", "text", "output format: text | md | csv")
+		out     = flag.String("o", "results.txt", "output file ('-' for stdout only)")
+		scale   = flag.Int("scale", 1, "fidelity divisor: 1 = full workload sizes")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		format  = flag.String("format", "text", "output format: text | md | csv")
+		workers = flag.Int("workers", experiments.DefaultWorkers(),
+			"worker goroutines per experiment grid (output is identical for any count)")
 	)
 	flag.Parse()
+
+	if *workers <= 0 {
+		fmt.Fprintf(os.Stderr, "xdmbench: -workers must be a positive integer (got %d)\n", *workers)
+		os.Exit(2)
+	}
 
 	var w io.Writer = os.Stdout
 	var f *os.File
@@ -36,8 +43,10 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
 	fmt.Fprintf(w, "xDM reproduction — full evaluation (scale=%d seed=%d)\n\n", *scale, *seed)
+	experiments.ResetGridCellTime()
+	wallStart := time.Now()
 	for _, id := range experiments.IDs() {
 		start := time.Now()
 		tables, _ := experiments.Run(id, opts)
@@ -53,6 +62,16 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	wall := time.Since(wallStart)
+	// Aggregate time spent inside grid cells: what a fully serial run would
+	// cost. cell/wall is the average number of cells in flight.
+	cell := experiments.GridCellTime()
+	fmt.Fprintf(os.Stderr, "total wall-clock %v with %d workers (aggregate cell time %v",
+		wall.Round(time.Millisecond), *workers, cell.Round(time.Millisecond))
+	if wall > 0 && cell > 0 {
+		fmt.Fprintf(os.Stderr, ", %.2fx effective parallelism", cell.Seconds()/wall.Seconds())
+	}
+	fmt.Fprintln(os.Stderr, ")")
 	if f != nil {
 		fmt.Fprintf(os.Stderr, "results written to %s\n", *out)
 	}

@@ -25,6 +25,9 @@ func main() {
 		scale  = flag.Int("scale", 1, "fidelity divisor: 1 = full workload sizes, larger = faster")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
+
+		workers = flag.Int("workers", experiments.DefaultWorkers(),
+			"worker goroutines per experiment grid (output is identical for any count)")
 	)
 	flag.Parse()
 
@@ -38,6 +41,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: xdmsim -exp <id>|all | -custom specs.json [-scale N] [-seed N]; -list shows ids")
 		os.Exit(2)
 	}
+	if *workers <= 0 {
+		fmt.Fprintf(os.Stderr, "xdmsim: -workers must be a positive integer (got %d)\n", *workers)
+		fmt.Fprintln(os.Stderr, "usage: xdmsim -exp <id>|all | -custom specs.json [-scale N] [-seed N] [-workers N]; -list shows ids")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -45,7 +53,7 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
 	if *custom != "" {
 		f, err := os.Open(*custom)
 		if err != nil {

@@ -24,6 +24,10 @@ import (
 // local share that honors the SLO. Results are memoized: production
 // dispatches reuse the prepared shells.
 
+// The cache key includes every input that can change the measurement —
+// including the seed. Keys must be exact: experiment grids run cells on a
+// worker pool (see internal/experiments), and an under-keyed entry would make
+// the memoized value depend on which cell filled it first.
 var calibMu sync.Mutex
 var calibCache = map[string]float64{}
 
@@ -35,8 +39,8 @@ const calibSafety = 0.88
 // spec's runtime within slo on a staging replica of the backend device.
 // The measurement uses the offline profiling seed, not the production seed.
 func CalibratedLocalRatio(backendSpec device.Spec, spec workload.Spec, slo float64, seed int64) float64 {
-	key := fmt.Sprintf("%s/%d/%d/%s/%.2f", spec.Name, spec.FootprintPages, spec.MainAccesses,
-		backendSpec.Name, slo)
+	key := fmt.Sprintf("%s/%d/%d/%s/%.2f/%d", spec.Name, spec.FootprintPages, spec.MainAccesses,
+		backendSpec.Name, slo, seed)
 	calibMu.Lock()
 	if v, ok := calibCache[key]; ok {
 		calibMu.Unlock()
@@ -72,8 +76,8 @@ func calibScan(slo float64, run func(ratio float64) int64) float64 {
 // ReferenceRuntime measures (and caches) spec's unconstrained staging
 // runtime on backendSpec — the denominator for SLO-compliance accounting.
 func ReferenceRuntime(backendSpec device.Spec, spec workload.Spec, seed int64) int64 {
-	key := fmt.Sprintf("ref/%s/%d/%d/%s", spec.Name, spec.FootprintPages, spec.MainAccesses,
-		backendSpec.Name)
+	key := fmt.Sprintf("ref/%s/%d/%d/%s/%d", spec.Name, spec.FootprintPages, spec.MainAccesses,
+		backendSpec.Name, seed)
 	calibMu.Lock()
 	if v, ok := calibCache[key]; ok {
 		calibMu.Unlock()
@@ -92,8 +96,8 @@ func ReferenceRuntime(backendSpec device.Spec, spec workload.Spec, seed int64) i
 // the untuned hierarchical stack degrades faster, so it sustains less
 // offloading — the Fig 15 gap.
 func CalibratedBaselineRatio(sys System, backendSpec device.Spec, spec workload.Spec, slo float64, seed int64) float64 {
-	key := fmt.Sprintf("base/%s/%s/%d/%d/%s/%.2f", sys, spec.Name, spec.FootprintPages,
-		spec.MainAccesses, backendSpec.Name, slo)
+	key := fmt.Sprintf("base/%s/%s/%d/%d/%s/%.2f/%d", sys, spec.Name, spec.FootprintPages,
+		spec.MainAccesses, backendSpec.Name, slo, seed)
 	calibMu.Lock()
 	if v, ok := calibCache[key]; ok {
 		calibMu.Unlock()
@@ -159,7 +163,7 @@ func CalibratedBackendPriority(backends map[string]device.Spec, spec workload.Sp
 	worst := 0.0
 	runtimes := make(map[string]float64, len(names))
 	for _, n := range names {
-		key := fmt.Sprintf("pref/%s/%d/%d/%s", spec.Name, spec.FootprintPages, spec.MainAccesses, n)
+		key := fmt.Sprintf("pref/%s/%d/%d/%s/%d", spec.Name, spec.FootprintPages, spec.MainAccesses, n, seed)
 		calibMu.Lock()
 		v, ok := calibCache[key]
 		calibMu.Unlock()

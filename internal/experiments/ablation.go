@@ -154,15 +154,33 @@ func Ablations(o Options) []Table {
 		Title:   "Design-choice ablations: cost of removing each xDM mechanism",
 		Columns: []string{"mechanism removed", "metric", "degradation"},
 	}
-	t.AddRow("host bypass (use hierarchical path)", "sys time", ratio(AblationBypass(o)))
-	t.AddRow("channel isolation (share one channel)", "swap-in latency", ratio(AblationIsolation(o)))
-	t.AddRow("MEI backend selection (use worst backend)", "runtime", ratio(AblationMEI(o)))
-	t.AddRow("granularity tuning (fixed 4K)", "sys time", ratio(AblationKnob(o, "granularity")))
-	t.AddRow("width tuning (single channel)", "sys time", ratio(AblationKnob(o, "width")))
-	t.AddRow("adaptive fetch window (kernel-style cluster)", "sys time", ratio(AblationKnob(o, "adaptive")))
-	warm, cold := AblationWarmStart(o)
-	t.AddRow("warm-start VM pool (cold creates)", "time-to-placement",
-		fmt.Sprintf("%v -> %v", warm, cold))
+	// Each row is an independent measurement (each builds its own engines),
+	// so the study fans out over the worker pool as one grid.
+	jobs := []struct {
+		mech, metric string
+		run          func() string
+	}{
+		{"host bypass (use hierarchical path)", "sys time",
+			func() string { return ratio(AblationBypass(o)) }},
+		{"channel isolation (share one channel)", "swap-in latency",
+			func() string { return ratio(AblationIsolation(o)) }},
+		{"MEI backend selection (use worst backend)", "runtime",
+			func() string { return ratio(AblationMEI(o)) }},
+		{"granularity tuning (fixed 4K)", "sys time",
+			func() string { return ratio(AblationKnob(o, "granularity")) }},
+		{"width tuning (single channel)", "sys time",
+			func() string { return ratio(AblationKnob(o, "width")) }},
+		{"adaptive fetch window (kernel-style cluster)", "sys time",
+			func() string { return ratio(AblationKnob(o, "adaptive")) }},
+		{"warm-start VM pool (cold creates)", "time-to-placement",
+			func() string {
+				warm, cold := AblationWarmStart(o)
+				return fmt.Sprintf("%v -> %v", warm, cold)
+			}},
+	}
+	for i, cell := range runGrid(o, len(jobs), func(i int) string { return jobs[i].run() }) {
+		t.AddRow(jobs[i].mech, jobs[i].metric, cell)
+	}
 	t.Notes = append(t.Notes, "each row removes exactly one mechanism from the full system; >1.00x = the mechanism helps")
 	return []Table{t}
 }

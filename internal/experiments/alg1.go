@@ -48,12 +48,12 @@ func Algorithm1(o Options) []Table {
 		Columns: []string{"fleet", "completed", "online-vm", "free-vm", "switched", "created",
 			"rejected", "mean placement delay", "backend switches"},
 	}
-	for _, warm := range []bool{true, false} {
-		label := "cold"
-		if warm {
-			label = "warm pool"
-		}
-		r := run(warm)
+	labels := []string{"warm pool", "cold"}
+	results := runGrid(o, len(labels), func(i int) cluster.ArrivalSimResult {
+		return run(i == 0)
+	})
+	for i, label := range labels {
+		r := results[i]
 		t.AddRow(label, fmt.Sprint(r.Completed),
 			fmt.Sprint(r.Placed[cluster.ViaOnlineVM]), fmt.Sprint(r.Placed[cluster.ViaFreeVM]),
 			fmt.Sprint(r.Placed[cluster.ViaSwitch]), fmt.Sprint(r.Placed[cluster.ViaCreate]),

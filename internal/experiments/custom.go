@@ -21,8 +21,8 @@ func Custom(specs []workload.Spec, o Options) []Table {
 		Columns: []string{"workload", "anon", "seq", "hot", "backend", "gran", "width",
 			"baseline sys", "xDM sys", "speedup"},
 	}
-	for _, raw := range specs {
-		spec := o.scaled(raw)
+	for _, row := range runGrid(o, len(specs), func(i int) []string {
+		spec := o.scaled(specs[i])
 		f := baseline.Profile(spec, o.Seed)
 
 		// MEI backend selection over the standard testbed catalog.
@@ -51,10 +51,12 @@ func Custom(specs []workload.Spec, o Options) []Table {
 		setup := baseline.PrepareXDM(envX, envX.Machine.Backend(best), spec, 0.5, 1.4, o.Seed)
 		statsX := runTask(engX, setup.Config)
 
-		t.AddRow(spec.Name, f2(f.AnonRatio), f2(f.SeqRatio), f2(f.HotRatio), best,
+		return []string{spec.Name, f2(f.AnonRatio), f2(f.SeqRatio), f2(f.HotRatio), best,
 			fmt.Sprint(setup.Decision.GranularityPages), fmt.Sprint(setup.Decision.Width),
 			ms(statsB.SysTime), ms(statsX.SysTime),
-			ratio(float64(statsB.SysTime)/float64(statsX.SysTime)))
+			ratio(float64(statsB.SysTime) / float64(statsX.SysTime))}
+	}) {
+		t.AddRow(row...)
 	}
 	return []Table{t}
 }

@@ -32,8 +32,10 @@ func CXLModes(o Options) []Table {
 		Title:   "CXL as CPU-less NUMA node vs as far-memory backend (Sec IV-B)",
 		Columns: []string{"workload", "rdma-swap", "cxl-numa", "cxl-backend", "best"},
 	}
-	for _, name := range []string{"bert", "chat-int", "kmeans", "stream"} {
-		spec := o.scaled(workload.ByName(name))
+	names := []string{"bert", "chat-int", "kmeans", "stream"}
+	modes := []string{"rdma-swap", "cxl-numa", "cxl-backend"}
+	grid := runGrid2(o, len(names), len(modes), func(i, j int) sim.Duration {
+		spec := o.scaled(workload.ByName(names[i]))
 		dramPages := spec.FootprintPages / 2
 
 		measure := func(mode string) sim.Duration {
@@ -64,9 +66,10 @@ func CXLModes(o Options) []Table {
 			}
 		}
 
-		rdma := measure("rdma-swap")
-		numa := measure("cxl-numa")
-		backend := measure("cxl-backend")
+		return measure(modes[j])
+	})
+	for i, name := range names {
+		rdma, numa, backend := grid[i][0], grid[i][1], grid[i][2]
 		best := "cxl-numa"
 		if backend < numa && backend < rdma {
 			best = "cxl-backend"

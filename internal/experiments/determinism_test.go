@@ -41,6 +41,31 @@ func TestExperimentsDeterministic(t *testing.T) {
 	}
 }
 
+// TestParallelWorkersDeterministic is the tentpole regression gate for the
+// parallel harness: the same experiment rendered with Workers=1 and
+// Workers=8 must be byte-identical. Parallelism fans out across independent
+// grid cells and results are assembled in cell order, so worker count must
+// never leak into output. Exercised under -race by CI.
+func TestParallelWorkersDeterministic(t *testing.T) {
+	// fig16 regressed once via map-ordered Machine.BackendNames — keep it in
+	// this list.
+	for _, id := range []string{"fig5a", "fig16", "fig17", "ablation"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial := TestOptions()
+			serial.Workers = 1
+			parallel := serial
+			parallel.Workers = 8
+			a := renderExperiment(t, id, serial)
+			b := renderExperiment(t, id, parallel)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("Workers=1 vs Workers=8 output differs:\n--- serial\n%s\n--- parallel\n%s", a, b)
+			}
+		})
+	}
+}
+
 func TestExperimentSeedChangesOutput(t *testing.T) {
 	// fig17 is seed-sensitive (sampled workload trace); tab7 is analytic and
 	// intentionally seed-independent, so it can't serve here.

@@ -66,8 +66,7 @@ func Dynamic(o Options) []Table {
 		return rt, cost
 	}
 
-	var faultSpark string
-	runDynamic := func() (sim.Duration, float64, []baseline.SwitchRecord) {
+	runDynamic := func() (sim.Duration, float64, []baseline.SwitchRecord, string) {
 		eng := sim.NewEngine()
 		env := testbed(eng)
 		v := env.Machine.CreateVM("dyn", 4, phases[0].FootprintPages*2,
@@ -86,7 +85,7 @@ func Dynamic(o Options) []Table {
 		if !finished {
 			panic("dynamic: task did not finish")
 		}
-		faultSpark = metrics.Sparkline(metrics.Delta(tl.Samples()), 60)
+		faultSpark := metrics.Sparkline(metrics.Delta(tl.Samples()), 60)
 
 		// Far-memory cost: integrate normalized backend cost over the
 		// segments between switches.
@@ -113,12 +112,33 @@ func Dynamic(o Options) []Table {
 			cost += core.NormalizedCost(env.Machine.Backend(current).CostPerGB()) *
 				end.Sub(segStart).Seconds()
 		}
-		return stats.Runtime, cost, run.Switches
+		return stats.Runtime, cost, run.Switches, faultSpark
 	}
 
-	ssdRT, ssdCost := runStatic("ssd")
-	rdmaRT, rdmaCost := runStatic("rdma")
-	dynRT, dynCost, switches := runDynamic()
+	// Three independent system runs fan out as one grid: static-ssd,
+	// static-rdma, and the dynamic switcher.
+	type dynCell struct {
+		rt       sim.Duration
+		cost     float64
+		switches []baseline.SwitchRecord
+		spark    string
+	}
+	cells := runGrid(o, 3, func(i int) dynCell {
+		switch i {
+		case 0:
+			rt, cost := runStatic("ssd")
+			return dynCell{rt: rt, cost: cost}
+		case 1:
+			rt, cost := runStatic("rdma")
+			return dynCell{rt: rt, cost: cost}
+		default:
+			rt, cost, switches, spark := runDynamic()
+			return dynCell{rt: rt, cost: cost, switches: switches, spark: spark}
+		}
+	})
+	ssdRT, ssdCost := cells[0].rt, cells[0].cost
+	rdmaRT, rdmaCost := cells[1].rt, cells[1].cost
+	dynRT, dynCost, switches, faultSpark := cells[2].rt, cells[2].cost, cells[2].switches, cells[2].spark
 
 	bestRT := ssdRT
 	if rdmaRT < bestRT {

@@ -96,17 +96,25 @@ type Options struct {
 	Scale int
 	// Seed feeds every stochastic component.
 	Seed int64
+	// Workers bounds how many independent engine runs execute concurrently
+	// (grid cells; see parallel.go). 0 or 1 is serial. Output is
+	// byte-identical for any worker count: parallelism is across runs,
+	// never inside one.
+	Workers int
 }
 
-// DefaultOptions is full fidelity.
-func DefaultOptions() Options { return Options{Scale: 1, Seed: 1} }
+// DefaultOptions is full fidelity, serial.
+func DefaultOptions() Options { return Options{Scale: 1, Seed: 1, Workers: 1} }
 
 // TestOptions is the fast configuration for unit tests.
-func TestOptions() Options { return Options{Scale: 8, Seed: 1} }
+func TestOptions() Options { return Options{Scale: 8, Seed: 1, Workers: 1} }
 
 func (o Options) normalize() Options {
 	if o.Scale < 1 {
 		o.Scale = 1
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	return o
 }

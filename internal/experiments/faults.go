@@ -240,11 +240,18 @@ func runFaultScenario(o Options, kind faults.Kind, failover bool, pinned string)
 // pinned to the same backend the controller chose — both systems lose the
 // same device.
 func FaultRecoveryData(o Options) []FaultRecoveryRow {
+	kinds := []faults.Kind{faults.Flap, faults.Crash}
+	// The static run of a scenario depends on the failover run's backend
+	// choice, so each scenario is one grid cell (internally sequential);
+	// scenarios fan out across workers.
+	pairs := runGrid(o, len(kinds), func(i int) [2]FaultRecoveryRow {
+		xdm := runFaultScenario(o, kinds[i], true, "")
+		static := runFaultScenario(o, kinds[i], false, xdm.Backend)
+		return [2]FaultRecoveryRow{static, xdm}
+	})
 	var rows []FaultRecoveryRow
-	for _, kind := range []faults.Kind{faults.Flap, faults.Crash} {
-		xdm := runFaultScenario(o, kind, true, "")
-		static := runFaultScenario(o, kind, false, xdm.Backend)
-		rows = append(rows, static, xdm)
+	for _, p := range pairs {
+		rows = append(rows, p[0], p[1])
 	}
 	return rows
 }

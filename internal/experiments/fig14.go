@@ -108,18 +108,19 @@ func Fig14(o Options) []Table {
 		Title:   "Swap data throughput normalized to TMO (Fig 14)",
 		Columns: cols,
 	}
-	for _, spec := range workload.Specs() {
-		s := o.scaled(spec)
-		row := []string{s.Name}
+	specs := workload.Specs()
+	raw := runGrid2(o, len(specs), len(systems), func(i, j int) float64 {
+		return fig14Run(o, systems[j], o.scaled(specs[i]))
+	})
+	for i, spec := range specs {
+		row := []string{o.scaled(spec).Name}
 		var tmo float64
-		raw := make([]float64, len(systems))
-		for i, fs := range systems {
-			raw[i] = fig14Run(o, fs, s)
+		for j, fs := range systems {
 			if fs.name == "tmo" {
-				tmo = raw[i]
+				tmo = raw[i][j]
 			}
 		}
-		for _, v := range raw {
+		for _, v := range raw[i] {
 			if tmo > 0 {
 				row = append(row, f2(v/tmo))
 			} else {
@@ -141,7 +142,7 @@ func Table7(o Options) []Table {
 		Title:   "PCIe bandwidth of xDM on different backends (Table VII)",
 		Columns: []string{"backend set", "device R/W GB/s (max)", "slot util", "root-complex util", "PCIe full?"},
 	}
-	run := func(name string, specs []device.Spec) {
+	run := func(name string, specs []device.Spec) []string {
 		eng := sim.NewEngine()
 		// Table VII's testbed: PCIe 3.0 host; slots sized per device.
 		host := device.NewHost(eng, pcie.Gen3, 16)
@@ -173,12 +174,22 @@ func Table7(o Options) []Table {
 		if maxSlot > 0.85 || rootUtil > 0.85 {
 			full = "full"
 		}
-		t.AddRow(name, f2(maxDev), pct(maxSlot), pct(rootUtil), full)
+		return []string{name, f2(maxDev), pct(maxSlot), pct(rootUtil), full}
 	}
-	run("4x RDMA (xDM-RDMA)", []device.Spec{rdma8G("r0"), rdma8G("r1"), rdma8G("r2"), rdma8G("r3")})
-	run("4x SSD (xDM-SSD)", []device.Spec{device.SpecNVMeSSD("s0"), device.SpecNVMeSSD("s1"),
-		device.SpecNVMeSSD("s2"), device.SpecNVMeSSD("s3")})
-	run("1x RDMA (single-backend)", []device.Spec{device.SpecConnectX5("r0")})
+	sets := []struct {
+		name  string
+		specs []device.Spec
+	}{
+		{"4x RDMA (xDM-RDMA)", []device.Spec{rdma8G("r0"), rdma8G("r1"), rdma8G("r2"), rdma8G("r3")}},
+		{"4x SSD (xDM-SSD)", []device.Spec{device.SpecNVMeSSD("s0"), device.SpecNVMeSSD("s1"),
+			device.SpecNVMeSSD("s2"), device.SpecNVMeSSD("s3")}},
+		{"1x RDMA (single-backend)", []device.Spec{device.SpecConnectX5("r0")}},
+	}
+	for _, row := range runGrid(o, len(sets), func(i int) []string {
+		return run(sets[i].name, sets[i].specs)
+	}) {
+		t.AddRow(row...)
+	}
 	t.Notes = append(t.Notes,
 		"multiple backends reach each device's bandwidth ceiling and saturate their PCIe slots; a single backend leaves the fabric mostly idle")
 	return []Table{t}

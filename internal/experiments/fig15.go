@@ -35,36 +35,41 @@ func baselineOffload(spec workload.Spec, slo float64, seed int64) float64 {
 // each system sustains under SLO constraints, and the measured slowdown of
 // xDM's choice.
 func Fig15(o Options) []Table {
+	rows := runGrid2(o, len(fig15SLOs), len(fig15Workloads), func(i, j int) []string {
+		slo := fig15SLOs[i]
+		name := fig15Workloads[j]
+		spec := o.scaled(workload.ByName(name))
+
+		// Reference runtime: fully resident.
+		engR := sim.NewEngine()
+		envR := testbed(engR)
+		ref := runTask(engR, baseline.PrepareXDM(envR, envR.Machine.Backend("rdma"), spec, 1.0, slo, o.Seed).Config)
+
+		// xDM: console sizes local memory against the SLO.
+		engX := sim.NewEngine()
+		envX := testbed(engX)
+		setup := baseline.PrepareXDM(envX, envX.Machine.Backend("rdma"), spec, -1, slo, o.Seed)
+		stats := runTask(engX, setup.Config)
+		slowdown := float64(stats.Runtime) / float64(ref.Runtime)
+
+		base := baselineOffload(spec, slo, o.Seed)
+		within := "yes"
+		if slowdown > slo*1.05 {
+			within = "NO"
+		}
+		return []string{name, pct(1 - base), pct(1 - setup.Config.LocalRatio),
+			fmt.Sprintf("%.2fx", slowdown), within}
+	})
 	var tables []Table
-	for _, slo := range fig15SLOs {
+	for i, slo := range fig15SLOs {
 		t := Table{
 			ID:    "fig15",
 			Title: fmt.Sprintf("Memory offloading ratio under SLO %.1f (Fig 15)", slo),
 			Columns: []string{"workload", "baseline offload", "xDM offload",
 				"xDM measured slowdown", "within SLO"},
 		}
-		for _, name := range fig15Workloads {
-			spec := o.scaled(workload.ByName(name))
-
-			// Reference runtime: fully resident.
-			engR := sim.NewEngine()
-			envR := testbed(engR)
-			ref := runTask(engR, baseline.PrepareXDM(envR, envR.Machine.Backend("rdma"), spec, 1.0, slo, o.Seed).Config)
-
-			// xDM: console sizes local memory against the SLO.
-			engX := sim.NewEngine()
-			envX := testbed(engX)
-			setup := baseline.PrepareXDM(envX, envX.Machine.Backend("rdma"), spec, -1, slo, o.Seed)
-			stats := runTask(engX, setup.Config)
-			slowdown := float64(stats.Runtime) / float64(ref.Runtime)
-
-			base := baselineOffload(spec, slo, o.Seed)
-			within := "yes"
-			if slowdown > slo*1.05 {
-				within = "NO"
-			}
-			t.AddRow(name, pct(1-base), pct(1-setup.Config.LocalRatio),
-				fmt.Sprintf("%.2fx", slowdown), within)
+		for _, row := range rows[i] {
+			t.AddRow(row...)
 		}
 		t.Notes = append(t.Notes,
 			"offload ratio = share of the footprint living in far memory; higher is better memory efficiency")
@@ -122,25 +127,22 @@ func Fig16Data(o Options, jobsN int) (norm [][]float64, slos []float64) {
 	serverPages := int(2.5 * float64(fig16Friendly(o).FootprintPages))
 	serverCores := 16
 
-	for _, share := range fig16Mixes {
-		var row []float64
-		for _, slo := range slos {
-			// Baseline: no far memory.
-			engB := sim.NewEngine()
-			envB := clusterTestbed(engB)
-			base := cluster.RunThroughput(envB, mkJobs(share, slo), cluster.FullMemory, serverPages, serverCores)
+	norm = runGrid2(o, len(fig16Mixes), len(slos), func(i, j int) float64 {
+		share, slo := fig16Mixes[i], slos[j]
 
-			engX := sim.NewEngine()
-			envX := clusterTestbed(engX)
-			far := cluster.RunThroughput(envX, mkJobs(share, slo), cluster.FarMemorySLO, serverPages, serverCores)
-			if base.Throughput > 0 {
-				row = append(row, far.Throughput/base.Throughput)
-			} else {
-				row = append(row, 0)
-			}
+		// Baseline: no far memory.
+		engB := sim.NewEngine()
+		envB := clusterTestbed(engB)
+		base := cluster.RunThroughput(envB, mkJobs(share, slo), cluster.FullMemory, serverPages, serverCores)
+
+		engX := sim.NewEngine()
+		envX := clusterTestbed(engX)
+		far := cluster.RunThroughput(envX, mkJobs(share, slo), cluster.FarMemorySLO, serverPages, serverCores)
+		if base.Throughput > 0 {
+			return far.Throughput / base.Throughput
 		}
-		norm = append(norm, row)
-	}
+		return 0
+	})
 	return norm, slos
 }
 

@@ -78,11 +78,13 @@ func Fig17(o Options) []Table {
 		Title:   "Per-swap-op latency under swap isolation schemes (Fig 17)",
 		Columns: []string{"pair", "shared swap", "isolated swap", "vm-isolated swap", "shared/vm speedup"},
 	}
+	fig17Schemes := []string{"shared", "isolated", "vm-isolated"}
+	lat := runGrid2(o, len(fig17Pairs), len(fig17Schemes), func(i, j int) float64 {
+		return fig17Run(o, fig17Pairs[i][0], fig17Pairs[i][1], fig17Schemes[j])
+	})
 	var speedups []float64
-	for _, pair := range fig17Pairs {
-		shared := fig17Run(o, pair[0], pair[1], "shared")
-		iso := fig17Run(o, pair[0], pair[1], "isolated")
-		vmIso := fig17Run(o, pair[0], pair[1], "vm-isolated")
+	for i, pair := range fig17Pairs {
+		shared, iso, vmIso := lat[i][0], lat[i][1], lat[i][2]
 		sp := shared / vmIso
 		speedups = append(speedups, sp)
 		t.AddRow(pair[0]+"+"+pair[1],
@@ -172,11 +174,14 @@ func Fig19(o Options) []Table {
 	n := 4000 / o.Scale
 	lo := clustertrace.Snapshot(clustertrace.Alibaba2017(), n, o.Seed)
 	hi := clustertrace.Snapshot(clustertrace.Alibaba2018(), n, o.Seed)
+	mbe := runGrid(o, len(fig19Thresholds), func(i int) [2]float64 {
+		a := fig19Thresholds[i]
+		return [2]float64{cluster.MBEImprovement(lo, a, a), cluster.MBEImprovement(hi, a, a)}
+	})
 	bestLo, bestHi := 0.0, 0.0
 	var atLo, atHi float64
-	for _, a := range fig19Thresholds {
-		vLo := cluster.MBEImprovement(lo, a, a)
-		vHi := cluster.MBEImprovement(hi, a, a)
+	for i, a := range fig19Thresholds {
+		vLo, vHi := mbe[i][0], mbe[i][1]
 		if vLo > bestLo {
 			bestLo, atLo = vLo, a
 		}
@@ -198,19 +203,23 @@ func Fig19(o Options) []Table {
 		Columns: []string{"trace", "α=β", "MBE improvement", "pages moved", "rebalance time",
 			"aggregate BW", "sources->donors"},
 	}
-	for _, c := range []struct {
+	cfgs := []struct {
 		p clustertrace.Profile
 		a float64
-	}{{clustertrace.Alibaba2017(), 0.31}, {clustertrace.Alibaba2018(), 0.80}} {
+	}{{clustertrace.Alibaba2017(), 0.31}, {clustertrace.Alibaba2018(), 0.80}}
+	for _, row := range runGrid(o, len(cfgs), func(i int) []string {
+		c := cfgs[i]
 		res := cluster.RunBalanceSim(cluster.BalanceSimConfig{
 			Machines: n, PagesPerMachine: 16 * 1024 * 1024 / o.Scale,
 			Profile: c.p, Alpha: c.a, Beta: c.a, Seed: o.Seed,
 		})
-		st.AddRow(c.p.Name, fmt.Sprintf("%.2f", c.a), pct(res.Improvement),
+		return []string{c.p.Name, fmt.Sprintf("%.2f", c.a), pct(res.Improvement),
 			fmt.Sprintf("%d", res.PagesMoved),
 			fmt.Sprintf("%.1fs", res.RebalanceTime.Seconds()),
 			fmt.Sprintf("%.1f GB/s", res.AggregateGBps),
-			fmt.Sprintf("%d->%d", res.SourceMachines, res.DonorMachines))
+			fmt.Sprintf("%d->%d", res.SourceMachines, res.DonorMachines)}
+	}) {
+		st.AddRow(row...)
 	}
 	st.Notes = append(st.Notes,
 		"balancing shares memory pressure without adding server nodes; the switch fabric bounds how fast the cluster converges")

@@ -25,8 +25,13 @@ func InterNode(o Options) []Table {
 		Columns: []string{"workload", "local-SSD runtime", "remote-DRAM runtime", "speedup",
 			"borrower util", "donor util (after lend)"},
 	}
-	for _, name := range []string{"lg-bfs", "bert", "kmeans"} {
-		spec := o.scaled(workload.ByName(name))
+	names := []string{"lg-bfs", "bert", "kmeans"}
+	type internodeRow struct {
+		ssdRT, rdmaRT sim.Duration
+		bu, du        float64
+	}
+	rows := runGrid(o, len(names), func(i int) internodeRow {
+		spec := o.scaled(workload.ByName(names[i]))
 
 		run := func(remote bool) (sim.Duration, float64, float64) {
 			eng := sim.NewEngine()
@@ -60,8 +65,12 @@ func InterNode(o Options) []Table {
 
 		ssdRT, _, _ := run(false)
 		rdmaRT, bu, du := run(true)
-		t.AddRow(name, ms(ssdRT), ms(rdmaRT), ratio(float64(ssdRT)/float64(rdmaRT)),
-			pct(bu), pct(du))
+		return internodeRow{ssdRT: ssdRT, rdmaRT: rdmaRT, bu: bu, du: du}
+	})
+	for i, name := range names {
+		r := rows[i]
+		t.AddRow(name, ms(r.ssdRT), ms(r.rdmaRT), ratio(float64(r.ssdRT)/float64(r.rdmaRT)),
+			pct(r.bu), pct(r.du))
 	}
 	t.Notes = append(t.Notes,
 		"borrowing idle remote DRAM turns a hot node's SSD-bound swap into rack-speed far memory — the task-level mechanism behind Fig 19's balancing; see fig19-sim for the cluster-scale effect")

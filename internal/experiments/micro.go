@@ -29,18 +29,21 @@ func Fig1b(o Options) []Table {
 	}
 	budget := pcie.Gen4.DuplexBandwidth(16).GB()
 	const totalBytes = 8 << 30
-	for _, spec := range device.Catalog() {
+	catalog := device.Catalog()
+	measured := runGrid(o, len(catalog), func(i int) float64 {
 		eng := sim.NewEngine()
 		h := device.NewHost(eng, pcie.Gen5, 16) // roomy fabric: measure the device
-		d := h.Attach(spec)
+		d := h.Attach(catalog[i])
 		const chunk = 8 * units.MiB
 		for off := int64(0); off < totalBytes/int64(o.Scale); off += chunk {
 			d.Submit(device.Op{Size: chunk, Sequential: true}, nil)
 		}
 		eng.Run()
-		measured := d.TotalBytes() / eng.Now().Seconds() / 1e9
-		t.AddRow(spec.Name, spec.Kind.String(), f2(spec.Bandwidth.GB()), f2(measured),
-			pct(measured/budget))
+		return d.TotalBytes() / eng.Now().Seconds() / 1e9
+	})
+	for i, spec := range catalog {
+		t.AddRow(spec.Name, spec.Kind.String(), f2(spec.Bandwidth.GB()), f2(measured[i]),
+			pct(measured[i]/budget))
 	}
 	t.Notes = append(t.Notes,
 		"no single device saturates the 64 GB/s PCIe 4.0 x16 fabric — the multi-backend motivation")
@@ -62,7 +65,8 @@ func Fig2b(o Options) []Table {
 		device.SpecHDD("hdd"),
 	}
 	pages := int(64 * units.MiB / units.PageSize / int64(o.Scale))
-	for _, spec := range specs {
+	for _, row := range runGrid(o, len(specs), func(i int) []string {
+		spec := specs[i]
 		eng := sim.NewEngine()
 		h := device.NewHost(eng, pcie.Gen4, 16)
 		be := swap.NewDeviceBackend(eng, h.Attach(spec))
@@ -79,9 +83,11 @@ func Fig2b(o Options) []Table {
 		}
 		next(0)
 		eng.Run()
-		t.AddRow(spec.Name, fmt.Sprint(pages), ms(sim.Duration(eng.Now())),
-			us(sim.Duration(float64(sim.Microsecond)*path.InLatency.Mean())),
-			us(sim.Duration(float64(sim.Microsecond)*path.InLatency.Max())))
+		return []string{spec.Name, fmt.Sprint(pages), ms(sim.Duration(eng.Now())),
+			us(sim.Duration(float64(sim.Microsecond) * path.InLatency.Mean())),
+			us(sim.Duration(float64(sim.Microsecond) * path.InLatency.Max()))}
+	}) {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "latency spans orders of magnitude across backends (dram < rdma < ssd < hdd)")
 	return []Table{t}
@@ -154,8 +160,8 @@ func Fig4(o Options) []Table {
 		}
 		return sim.Duration(float64(sim.Microsecond) * sum / float64(n))
 	}
-	shared := measure(false)
-	multi := measure(true)
+	both := runGrid(o, 2, func(i int) sim.Duration { return measure(i == 1) })
+	shared, multi := both[0], both[1]
 	t.AddRow("single shared hierarchical path", us(shared), f2(1.0), ratio(1.0))
 	t.AddRow("multiple isolated bypass paths", us(multi),
 		f2(float64(multi)/float64(shared)), ratio(float64(shared)/float64(multi)))
@@ -176,30 +182,28 @@ func Fig5a(o Options) []Table {
 	fragments := []float64{0.001, 0.03, 0.2}
 	units_ := []int{1, 4, 16, 64, 256, 1024}
 
-	results := make(map[int][]sim.Duration)
-	for _, unit := range units_ {
-		for _, frag := range fragments {
-			eng := sim.NewEngine()
-			env := testbed(eng)
-			p := swap.NewPath(eng, env.Machine.Backend("rdma"), swap.NewChannel(eng, "ch", 4))
-			// A fragmented dataset yields partially useful units: the
-			// useful fraction of each unit shrinks with unit size, so more
-			// units (and bytes) move to load the same data.
-			segLen := 1 / frag
-			usefulPerUnit := float64(unit)
-			if float64(unit) > segLen {
-				usefulPerUnit = segLen
-			}
-			unitsNeeded := int(float64(totalPages)/usefulPerUnit + 0.5)
-			for i := 0; i < unitsNeeded; i++ {
-				p.SwapIn(swap.Extent{Pages: unit, Sequential: frag < 0.01}, nil)
-			}
-			eng.Run()
-			results[unit] = append(results[unit], sim.Duration(eng.Now()))
+	results := runGrid2(o, len(units_), len(fragments), func(i, j int) sim.Duration {
+		unit, frag := units_[i], fragments[j]
+		eng := sim.NewEngine()
+		env := testbed(eng)
+		p := swap.NewPath(eng, env.Machine.Backend("rdma"), swap.NewChannel(eng, "ch", 4))
+		// A fragmented dataset yields partially useful units: the
+		// useful fraction of each unit shrinks with unit size, so more
+		// units (and bytes) move to load the same data.
+		segLen := 1 / frag
+		usefulPerUnit := float64(unit)
+		if float64(unit) > segLen {
+			usefulPerUnit = segLen
 		}
-	}
-	for _, unit := range units_ {
-		r := results[unit]
+		unitsNeeded := int(float64(totalPages)/usefulPerUnit + 0.5)
+		for k := 0; k < unitsNeeded; k++ {
+			p.SwapIn(swap.Extent{Pages: unit, Sequential: frag < 0.01}, nil)
+		}
+		eng.Run()
+		return sim.Duration(eng.Now())
+	})
+	for i, unit := range units_ {
+		r := results[i]
 		t.AddRow(units.HumanBytes(int64(unit)*units.PageSize), ms(r[0]), ms(r[1]), ms(r[2]))
 	}
 	t.Notes = append(t.Notes,

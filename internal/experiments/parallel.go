@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The parallel experiment harness. Every experiment is a grid of fully
+// independent simulation runs — each cell constructs its own sim.Engine and
+// owns all its mutable state — so cells can execute on a worker pool while
+// the assembled output stays byte-identical for any worker count:
+// parallelism across runs, never inside one.
+
+// DefaultWorkers is the worker count the CLIs use unless told otherwise.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// gridCellNanos accumulates wall-clock spent inside grid cells, across all
+// experiments since the last reset. Dividing it by elapsed wall time gives
+// the realized parallel speedup the CLIs report.
+var gridCellNanos atomic.Int64
+
+// GridCellTime reports cumulative wall-clock spent inside grid cells since
+// the last ResetGridCellTime — the serial-equivalent cost of the work done.
+func GridCellTime() time.Duration { return time.Duration(gridCellNanos.Load()) }
+
+// ResetGridCellTime zeroes the grid cell-time accumulator.
+func ResetGridCellTime() { gridCellNanos.Store(0) }
+
+// gridPanic carries a cell panic (plus its origin) back to the caller.
+type gridPanic struct {
+	cell int
+	val  any
+}
+
+// runGrid evaluates fn(i) for every i in [0, n) and returns the results in
+// index order. With o.Workers > 1 cells run concurrently on a fixed worker
+// pool; results are assembled by index, so downstream rendering is
+// independent of scheduling order. A panic inside a cell is re-raised on the
+// caller with the cell index attached.
+func runGrid[T any](o Options, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	timed := func(i int) {
+		start := time.Now()
+		out[i] = fn(i)
+		gridCellNanos.Add(int64(time.Since(start)))
+	}
+	workers := o.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			timed(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var caught atomic.Pointer[gridPanic]
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || caught.Load() != nil {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							caught.CompareAndSwap(nil, &gridPanic{cell: i, val: r})
+						}
+					}()
+					timed(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := caught.Load(); p != nil {
+		panic(fmt.Sprintf("experiments: grid cell %d panicked: %v", p.cell, p.val))
+	}
+	return out
+}
+
+// runGrid2 is runGrid over a 2-D grid, returned as rows[i][j] for i in
+// [0, rows), j in [0, cols). Cells are scheduled row-major.
+func runGrid2[T any](o Options, rows, cols int, fn func(i, j int) T) [][]T {
+	flat := runGrid(o, rows*cols, func(k int) T { return fn(k/cols, k%cols) })
+	out := make([][]T, rows)
+	for i := range out {
+		out[i] = flat[i*cols : (i+1)*cols]
+	}
+	return out
+}

@@ -36,34 +36,34 @@ func (c Table6Cell) Speedup() float64 {
 	return float64(c.BaseSys) / float64(c.XDMSys)
 }
 
-// Table6Data runs the full Table VI grid and returns raw cells, letting
+// Table6Data runs the full Table VI grid — every workload on every backend,
+// baseline and xDM, each an independent engine run farmed out to the worker
+// pool — and returns raw cells in stable (workload, backend) order, letting
 // tests and the benchmark harness assert on the numbers directly.
 func Table6Data(o Options) []Table6Cell {
-	var cells []Table6Cell
-	for _, spec := range workload.Specs() {
-		s := o.scaled(spec)
-		for _, backend := range table6Backends {
-			sys := baseline.SystemsForBackend(backend)
+	specs := workload.Specs()
+	return runGrid(o, len(specs)*len(table6Backends), func(i int) Table6Cell {
+		s := o.scaled(specs[i/len(table6Backends)])
+		backend := table6Backends[i%len(table6Backends)]
+		sys := baseline.SystemsForBackend(backend)
 
-			// Baseline run.
-			engB := sim.NewEngine()
-			envB := testbed(engB)
-			cfgB := baseline.Prepare(sys, envB, envB.Machine.Backend(backend), s, table6Ratio, o.Seed)
-			statsB := runTask(engB, cfgB)
+		// Baseline run.
+		engB := sim.NewEngine()
+		envB := testbed(engB)
+		cfgB := baseline.Prepare(sys, envB, envB.Machine.Backend(backend), s, table6Ratio, o.Seed)
+		statsB := runTask(engB, cfgB)
 
-			// xDM run on the same backend.
-			engX := sim.NewEngine()
-			envX := testbed(engX)
-			setup := baseline.PrepareXDM(envX, envX.Machine.Backend(backend), s, table6Ratio, 1.4, o.Seed)
-			statsX := runTask(engX, setup.Config)
+		// xDM run on the same backend.
+		engX := sim.NewEngine()
+		envX := testbed(engX)
+		setup := baseline.PrepareXDM(envX, envX.Machine.Backend(backend), s, table6Ratio, 1.4, o.Seed)
+		statsX := runTask(engX, setup.Config)
 
-			cells = append(cells, Table6Cell{
-				Workload: s.Name, Backend: backend, Baseline: sys,
-				BaseSys: statsB.SysTime, XDMSys: statsX.SysTime,
-			})
+		return Table6Cell{
+			Workload: s.Name, Backend: backend, Baseline: sys,
+			BaseSys: statsB.SysTime, XDMSys: statsX.SysTime,
 		}
-	}
-	return cells
+	})
 }
 
 // Table6 reproduces Table VI: the swap performance (sys-time) speedup of

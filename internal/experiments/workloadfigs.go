@@ -30,26 +30,26 @@ func Fig5b(o Options) []Table {
 		Columns: []string{"workload", "w=1", "w=2", "w=4", "w=8", "w=16"},
 	}
 	widths := []int{1, 2, 4, 8, 16}
-	for _, name := range []string{"lg-bfs", "sp-pg", "bert", "clip"} {
-		spec := o.scaled(workload.ByName(name))
-		var base sim.Duration
+	names := []string{"lg-bfs", "sp-pg", "bert", "clip"}
+	runtimes := runGrid2(o, len(names), len(widths), func(i, j int) sim.Duration {
+		spec := o.scaled(workload.ByName(names[i]))
+		eng := sim.NewEngine()
+		env := testbed(eng)
+		be := env.Machine.Backend("ssd")
+		setup := baseline.PrepareXDM(env, be, spec, 0.5, 1.4, o.Seed)
+		// Pin the width under test; disable online width retuning by
+		// fixing granularity-only epochs.
+		cfg := setup.Config
+		cfg.OnEpoch = nil
+		cfg.EpochAccesses = 0
+		be.SetWidth(widths[j])
+		return runTask(eng, cfg).Runtime
+	})
+	for i, name := range names {
+		base := runtimes[i][0] // width 1
 		row := []string{name}
-		for _, w := range widths {
-			eng := sim.NewEngine()
-			env := testbed(eng)
-			be := env.Machine.Backend("ssd")
-			setup := baseline.PrepareXDM(env, be, spec, 0.5, 1.4, o.Seed)
-			// Pin the width under test; disable online width retuning by
-			// fixing granularity-only epochs.
-			cfg := setup.Config
-			cfg.OnEpoch = nil
-			cfg.EpochAccesses = 0
-			be.SetWidth(w)
-			stats := runTask(eng, cfg)
-			if w == 1 {
-				base = stats.Runtime
-			}
-			row = append(row, f2(float64(stats.Runtime)/float64(base)))
+		for _, rt := range runtimes[i] {
+			row = append(row, f2(float64(rt)/float64(base)))
 		}
 		t.AddRow(row...)
 	}
@@ -67,7 +67,9 @@ func Fig8(o Options) []Table {
 		Title:   "Backend preference by anonymous/file-backed ratio (Fig 8)",
 		Columns: []string{"workload", "anon ratio", "runtime SSD", "runtime RDMA", "rdma gain", "MEI pick"},
 	}
-	for _, name := range []string{"lg-bc", "sort", "gg-bfs", "lpk"} {
+	fig8Names := []string{"lg-bc", "sort", "gg-bfs", "lpk"}
+	for _, row := range runGrid(o, len(fig8Names), func(i int) []string {
+		name := fig8Names[i]
 		spec := o.scaled(workload.ByName(name))
 		var runtimes []sim.Duration
 		for _, backend := range []string{"ssd", "rdma"} {
@@ -83,8 +85,10 @@ func Fig8(o Options) []Table {
 			"ssd":  device.SpecTestbedSSD("ssd"),
 			"rdma": device.SpecConnectX5("rdma"),
 		}, spec, o.Seed)
-		t.AddRow(name, f2(spec.AnonFraction), ms(runtimes[0]), ms(runtimes[1]),
-			ratio(float64(runtimes[0])/float64(runtimes[1])), priority[0])
+		return []string{name, f2(spec.AnonFraction), ms(runtimes[0]), ms(runtimes[1]),
+			ratio(float64(runtimes[0]) / float64(runtimes[1])), priority[0]}
+	}) {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"large RDMA gains justify the pricier backend for anonymous-heavy tasks; file-heavy tasks stay on SSD")
@@ -141,26 +145,27 @@ func Fig12(o Options) []Table {
 		Title:   "Impact of NUMA data distribution (Fig 12), runtime normalized to bind-local",
 		Columns: []string{"workload", "bind-local", "interleave", "prefer-remote", "sensitivity"},
 	}
-	for _, name := range []string{"stream", "lpk", "kmeans", "bert"} {
-		spec := o.scaled(workload.ByName(name))
-		var runtimes []sim.Duration
-		for _, policy := range []mem.NUMAPolicy{mem.BindLocal, mem.Interleave, mem.PreferRemote} {
-			eng := sim.NewEngine()
-			env := testbed(eng)
-			// Fully resident (this figure isolates local-memory placement,
-			// not swap); each socket holds ~60% of the footprint, so
-			// placement decisions are visible.
-			setup := baseline.PrepareXDM(env, env.Machine.Backend("rdma"), spec, 1.0, 1.4, o.Seed)
-			cfg := setup.Config
-			// Each socket can hold the whole footprint: bind-local is pure
-			// same-socket, prefer-remote is pure cross-socket.
-			cfg.Topo = mem.NewTopology(spec.FootprintPages + 1)
-			cfg.NUMAPolicy = policy
-			runtimes = append(runtimes, runTask(eng, cfg).Runtime)
-		}
-		base := float64(runtimes[0])
-		t.AddRow(name, f2(1.0), f2(float64(runtimes[1])/base), f2(float64(runtimes[2])/base),
-			pct(float64(runtimes[2])/base-1))
+	fig12Names := []string{"stream", "lpk", "kmeans", "bert"}
+	fig12Policies := []mem.NUMAPolicy{mem.BindLocal, mem.Interleave, mem.PreferRemote}
+	runtimes := runGrid2(o, len(fig12Names), len(fig12Policies), func(i, j int) sim.Duration {
+		spec := o.scaled(workload.ByName(fig12Names[i]))
+		eng := sim.NewEngine()
+		env := testbed(eng)
+		// Fully resident (this figure isolates local-memory placement,
+		// not swap); each socket holds ~60% of the footprint, so
+		// placement decisions are visible.
+		setup := baseline.PrepareXDM(env, env.Machine.Backend("rdma"), spec, 1.0, 1.4, o.Seed)
+		cfg := setup.Config
+		// Each socket can hold the whole footprint: bind-local is pure
+		// same-socket, prefer-remote is pure cross-socket.
+		cfg.Topo = mem.NewTopology(spec.FootprintPages + 1)
+		cfg.NUMAPolicy = fig12Policies[j]
+		return runTask(eng, cfg).Runtime
+	})
+	for i, name := range fig12Names {
+		base := float64(runtimes[i][0])
+		t.AddRow(name, f2(1.0), f2(float64(runtimes[i][1])/base), f2(float64(runtimes[i][2])/base),
+			pct(float64(runtimes[i][2])/base-1))
 	}
 	t.Notes = append(t.Notes,
 		"memory-intensive tasks degrade on remote placement; compute-bound tasks barely notice — NUMA nodes are usable spill room for insensitive apps")

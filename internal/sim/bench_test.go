@@ -1,0 +1,83 @@
+package sim
+
+import "testing"
+
+// Microbenchmarks of the event kernel's hot paths. The numbers of record
+// live in BENCH_sim.json (before/after the 4-ary value-heap rework); CI runs
+// these with -benchtime=1x as a smoke test so they cannot rot.
+
+// BenchmarkEngineSchedule is the steady-state schedule-fire cycle: events are
+// scheduled in batches and drained, so the heap, slot table, and free lists
+// reach a stable size. Target: 0 allocs/op.
+func BenchmarkEngineSchedule(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(Duration(i%100), fn)
+		if i%512 == 511 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkEngineCancel schedules and immediately cancels, measuring the
+// lazy-cancellation path (tombstones are dropped on the periodic drain).
+func BenchmarkEngineCancel(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := eng.After(Duration(i%100), fn)
+		h.Cancel(eng)
+		if i%512 == 511 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkEngineChurn is the timer-wheel-ish workload: a fixed population
+// of timers where every firing reschedules itself, the pattern device
+// channels and retry timeouts produce. Measures fire+reschedule cost.
+func BenchmarkEngineChurn(b *testing.B) {
+	eng := NewEngine()
+	const timers = 1024
+	remaining := b.N
+	fns := make([]func(), timers)
+	for i := range fns {
+		i := i
+		fns[i] = func() {
+			if remaining > 0 {
+				remaining--
+				eng.After(Duration(1+i%7), fns[i])
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := range fns {
+		eng.After(Duration(i%7), fns[i])
+	}
+	eng.Run()
+}
+
+// BenchmarkStationSubmit is the queueing-station hot path behind every
+// device channel: submit, wait for a server, serve, complete.
+func BenchmarkStationSubmit(b *testing.B) {
+	eng := NewEngine()
+	st := NewStation(eng, 4)
+	done := func(Duration) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Submit(Duration(10+i%90), done)
+		if i%256 == 255 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}

@@ -1,63 +1,44 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // An event is a callback scheduled at a point in virtual time. Events at the
 // same instant fire in scheduling order (seq breaks ties), which keeps runs
-// deterministic.
+// deterministic. Events are stored by value in an inlined 4-ary min-heap:
+// no per-event allocation and no container/heap interface boxing on the
+// schedule/fire hot path.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-	// index within the heap, or -1 once cancelled/popped.
-	index int
+	at   Time
+	seq  uint64
+	slot int32
+	fn   func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// eventSlot carries the cancellation state of one pending event. Slots are
+// recycled through a free list; gen stamps invalidate Handles from earlier
+// tenancies of the same slot, so cancel-after-fire is a cheap no-op.
+type eventSlot struct {
+	gen       uint64
+	cancelled bool
 }
 
 // Engine is a discrete-event simulation driver: a virtual clock plus a
 // priority queue of pending events. An Engine is not safe for concurrent use;
 // each simulation run owns exactly one Engine and executes single-threaded,
-// which is what makes runs reproducible.
+// which is what makes runs reproducible. (Independent runs parallelize at a
+// higher level — see internal/experiments — with one Engine per goroutine.)
 type Engine struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	stopped bool
+	now  Time
+	heap []event // 4-ary min-heap ordered by (at, seq); may hold tombstones
+	seq  uint64
+	// slots/freeSlots implement generation-stamped lazy cancellation:
+	// Cancel only flips a bit, and the tombstone is dropped when it
+	// surfaces at the heap top. No O(log n) heap.Remove, no index
+	// maintenance on every sift.
+	slots     []eventSlot
+	freeSlots []int32
+	live      int // pending events not yet cancelled
+	stopped   bool
 	// processed counts events executed, exposed for tests and runaway guards.
 	processed uint64
 }
@@ -74,18 +55,47 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Handle identifies a scheduled event so it can be cancelled before firing.
+// The zero Handle is valid and never matches a live event.
 type Handle struct {
-	ev *event
+	slot int32
+	gen  uint64
 }
 
 // Cancel removes the event from the engine if it has not fired yet and
-// reports whether it was still pending.
+// reports whether it was still pending. Double-cancel and cancel-after-fire
+// are explicit no-ops: the generation stamp no longer matches (or the
+// cancelled bit is already set), so Cancel returns false without touching
+// the heap.
 func (h Handle) Cancel(e *Engine) bool {
-	if h.ev == nil || h.ev.index < 0 {
+	if h.gen == 0 || int(h.slot) >= len(e.slots) {
 		return false
 	}
-	heap.Remove(&e.events, h.ev.index)
+	s := &e.slots[h.slot]
+	if s.gen != h.gen || s.cancelled {
+		return false
+	}
+	s.cancelled = true
+	e.live--
 	return true
+}
+
+// allocSlot returns a slot index for a new event, recycling freed slots.
+func (e *Engine) allocSlot() int32 {
+	if n := len(e.freeSlots); n > 0 {
+		slot := e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+		e.slots[slot].cancelled = false
+		return slot
+	}
+	e.slots = append(e.slots, eventSlot{gen: 1})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot retires a slot once its event left the heap (fired or dropped as
+// a tombstone). Bumping gen invalidates every outstanding Handle to it.
+func (e *Engine) freeSlot(slot int32) {
+	e.slots[slot].gen++
+	e.freeSlots = append(e.freeSlots, slot)
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
@@ -94,10 +104,11 @@ func (e *Engine) At(t Time, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	slot := e.allocSlot()
 	e.seq++
-	heap.Push(&e.events, ev)
-	return Handle{ev: ev}
+	e.push(event{at: t, seq: e.seq, slot: slot, fn: fn})
+	e.live++
+	return Handle{slot: slot, gen: e.slots[slot].gen}
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -114,13 +125,86 @@ func (e *Engine) Immediately(fn func()) Handle {
 	return e.At(e.now, fn)
 }
 
+// push inserts ev into the 4-ary heap (hole-based sift-up).
+func (e *Engine) push(ev event) {
+	e.heap = append(e.heap, ev)
+	h := e.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if h[p].at < ev.at || (h[p].at == ev.at && h[p].seq < ev.seq) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+// pop removes and returns the heap minimum (hole-based sift-down).
+func (e *Engine) pop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // drop the fn reference
+	e.heap = h[:n]
+	if n > 0 {
+		h = e.heap
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].at < h[m].at || (h[j].at == h[m].at && h[j].seq < h[m].seq) {
+					m = j
+				}
+			}
+			if last.at < h[m].at || (last.at == h[m].at && last.seq < h[m].seq) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// peekLive drops cancelled tombstones off the heap top and reports the next
+// live event, if any.
+func (e *Engine) peekLive() (event, bool) {
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		if !e.slots[top.slot].cancelled {
+			return top, true
+		}
+		e.pop()
+		e.freeSlot(top.slot)
+	}
+	return event{}, false
+}
+
 // Step executes the next pending event, advancing the clock to its timestamp.
 // It reports false when no events remain.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 || e.stopped {
+	if e.stopped {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev, ok := e.peekLive()
+	if !ok {
+		return false
+	}
+	e.pop()
+	e.freeSlot(ev.slot)
+	e.live--
 	e.now = ev.at
 	e.processed++
 	ev.fn()
@@ -136,7 +220,11 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // exactly t (even if the queue drained earlier).
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && !e.stopped && e.events[0].at <= t {
+	for !e.stopped {
+		ev, ok := e.peekLive()
+		if !ok || ev.at > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {
@@ -151,5 +239,5 @@ func (e *Engine) Stop() { e.stopped = true }
 // Resume clears a previous Stop.
 func (e *Engine) Resume() { e.stopped = false }
 
-// Pending reports how many events are queued.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports how many uncancelled events are queued.
+func (e *Engine) Pending() int { return e.live }

@@ -104,6 +104,94 @@ func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	}
 }
 
+func TestEngineCancelAfterFire(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	h := eng.At(10, func() { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if h.Cancel(eng) {
+		t.Fatal("cancel-after-fire must be a no-op returning false")
+	}
+	// The fired event's slot is recycled by the next event; the stale handle
+	// must not be able to cancel the new tenant.
+	fired2 := false
+	eng.At(20, func() { fired2 = true })
+	if h.Cancel(eng) {
+		t.Fatal("stale handle cancelled a recycled slot")
+	}
+	eng.Run()
+	if !fired2 {
+		t.Fatal("recycled-slot event did not fire")
+	}
+}
+
+func TestEngineDoubleCancel(t *testing.T) {
+	eng := NewEngine()
+	h := eng.At(10, func() { t.Error("cancelled event fired") })
+	if !h.Cancel(eng) {
+		t.Fatal("first cancel should succeed")
+	}
+	for i := 0; i < 3; i++ {
+		if h.Cancel(eng) {
+			t.Fatal("double-cancel must be a no-op returning false")
+		}
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending() = %d after cancel, want 0", eng.Pending())
+	}
+	eng.Run()
+	if h.Cancel(eng) {
+		t.Fatal("cancel after the tombstone drained should still be a no-op")
+	}
+}
+
+func TestEngineCancelThenRun(t *testing.T) {
+	// Cancel interleaved with Run: events cancelled from inside a running
+	// event (including at the same instant) must not fire, and the clock
+	// must not advance to a cancelled event's timestamp.
+	eng := NewEngine()
+	var got []int
+	var hLater, hSame Handle
+	hLater = eng.At(30, func() { got = append(got, 30) })
+	eng.At(10, func() {
+		got = append(got, 10)
+		hSame = eng.At(10, func() { got = append(got, 11) })
+		if !hSame.Cancel(eng) {
+			t.Error("same-instant cancel from inside an event failed")
+		}
+		if !hLater.Cancel(eng) {
+			t.Error("cancel of a later event from inside an event failed")
+		}
+	})
+	eng.At(20, func() { got = append(got, 20) })
+	eng.Run()
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("cancel-then-run trace = %v, want [10 20]", got)
+	}
+	if eng.Now() != 20 {
+		t.Fatalf("clock advanced to %v; cancelled tail event must not move it past 20", eng.Now())
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", eng.Pending())
+	}
+}
+
+func TestEngineZeroHandleCancel(t *testing.T) {
+	eng := NewEngine()
+	var h Handle
+	eng.At(5, func() {})
+	if h.Cancel(eng) {
+		t.Fatal("zero Handle must never cancel anything")
+	}
+	eng.Run()
+	if eng.Processed() != 1 {
+		t.Fatalf("processed = %d, want 1", eng.Processed())
+	}
+}
+
 func TestEngineRunUntil(t *testing.T) {
 	eng := NewEngine()
 	var fired []Time

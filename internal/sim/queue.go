@@ -8,10 +8,26 @@ type Station struct {
 	res *Resource
 	eng *Engine
 
+	// free recycles submit requests (and the two closures each one owns),
+	// so a steady-state submit-serve-complete cycle does not allocate.
+	free []*submitReq
+
 	// Served counts completed requests; BusyTime accumulates server-seconds
 	// of service, from which utilization can be derived.
 	Served   uint64
 	BusyTime Duration
+}
+
+// submitReq is one in-flight request. acquire and finish are built once per
+// request object and bound to it, so recycling the request recycles the
+// closures too.
+type submitReq struct {
+	s       *Station
+	service Duration
+	arrival Time
+	done    func(sojourn Duration)
+	acquire func()
+	finish  func()
 }
 
 // NewStation creates a station with the given number of parallel servers.
@@ -31,6 +47,33 @@ func (s *Station) QueueLength() int { return s.res.Waiting() }
 // InService reports the number of requests currently being served.
 func (s *Station) InService() int { return s.res.InUse() }
 
+// newReq pops a recycled request or builds a fresh one with its closures.
+func (s *Station) newReq() *submitReq {
+	if n := len(s.free); n > 0 {
+		r := s.free[n-1]
+		s.free = s.free[:n-1]
+		return r
+	}
+	r := &submitReq{s: s}
+	r.acquire = func() { r.s.eng.After(r.service, r.finish) }
+	r.finish = func() {
+		st := r.s
+		st.res.Release(1)
+		st.Served++
+		st.BusyTime += r.service
+		done := r.done
+		sojourn := st.eng.Now().Sub(r.arrival)
+		// Recycle before invoking done: the callback may Submit again and
+		// reuse this very request.
+		r.done = nil
+		st.free = append(st.free, r)
+		if done != nil {
+			done(sojourn)
+		}
+	}
+	return r
+}
+
 // Submit enqueues a request needing the given service time. done, if non-nil,
 // fires at completion with the time the request spent waiting plus in service
 // (its sojourn time).
@@ -38,17 +81,9 @@ func (s *Station) Submit(service Duration, done func(sojourn Duration)) {
 	if service < 0 {
 		panic("sim: negative service time")
 	}
-	arrival := s.eng.Now()
-	s.res.Acquire(1, func() {
-		s.eng.After(service, func() {
-			s.res.Release(1)
-			s.Served++
-			s.BusyTime += service
-			if done != nil {
-				done(s.eng.Now().Sub(arrival))
-			}
-		})
-	})
+	r := s.newReq()
+	r.service, r.arrival, r.done = service, s.eng.Now(), done
+	s.res.Acquire(1, r.acquire)
 }
 
 // Utilization reports mean server utilization over the interval [0, now].

@@ -8,7 +8,11 @@ type Resource struct {
 	eng      *Engine
 	capacity int
 	inUse    int
-	waiters  []waiter
+	// waiters[head:] is the FIFO queue. Dequeuing advances head instead of
+	// re-slicing, so the backing array is reused rather than walked forward
+	// (which would reallocate steadily under churn).
+	waiters []waiter
+	head    int
 	// maxQueue tracks the high-water mark of the wait queue for reporting.
 	maxQueue int
 }
@@ -34,10 +38,30 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // Waiting reports how many acquisitions are queued.
-func (r *Resource) Waiting() int { return len(r.waiters) }
+func (r *Resource) Waiting() int { return len(r.waiters) - r.head }
 
 // MaxQueue reports the largest wait-queue length observed.
 func (r *Resource) MaxQueue() int { return r.maxQueue }
+
+// popWaiter dequeues the head waiter, compacting the backing array once it
+// is fully drained (or mostly dead space) so it can be reused.
+func (r *Resource) popWaiter() waiter {
+	w := r.waiters[r.head]
+	r.waiters[r.head] = waiter{} // drop the fn reference
+	r.head++
+	if r.head == len(r.waiters) {
+		r.waiters = r.waiters[:0]
+		r.head = 0
+	} else if r.head > 32 && r.head*2 >= len(r.waiters) {
+		n := copy(r.waiters, r.waiters[r.head:])
+		for i := n; i < len(r.waiters); i++ {
+			r.waiters[i] = waiter{}
+		}
+		r.waiters = r.waiters[:n]
+		r.head = 0
+	}
+	return w
+}
 
 // Acquire requests units and invokes fn once they are granted. Requests are
 // served strictly FIFO: a large request at the head blocks smaller ones
@@ -49,7 +73,7 @@ func (r *Resource) Acquire(units int, fn func()) {
 	if units > r.capacity {
 		panic("sim: acquire exceeds resource capacity")
 	}
-	if len(r.waiters) == 0 && r.inUse+units <= r.capacity {
+	if r.Waiting() == 0 && r.inUse+units <= r.capacity {
 		r.inUse += units
 		// Run via the event queue so callers observe consistent ordering
 		// whether or not the acquisition had to wait.
@@ -57,8 +81,8 @@ func (r *Resource) Acquire(units int, fn func()) {
 		return
 	}
 	r.waiters = append(r.waiters, waiter{units: units, fn: fn})
-	if len(r.waiters) > r.maxQueue {
-		r.maxQueue = len(r.waiters)
+	if r.Waiting() > r.maxQueue {
+		r.maxQueue = r.Waiting()
 	}
 }
 
@@ -68,7 +92,7 @@ func (r *Resource) TryAcquire(units int) bool {
 	if units <= 0 || units > r.capacity {
 		return false
 	}
-	if len(r.waiters) == 0 && r.inUse+units <= r.capacity {
+	if r.Waiting() == 0 && r.inUse+units <= r.capacity {
 		r.inUse += units
 		return true
 	}
@@ -85,13 +109,13 @@ func (r *Resource) Release(units int) {
 		panic("sim: release exceeds units in use")
 	}
 	r.inUse -= units
-	for len(r.waiters) > 0 {
-		head := r.waiters[0]
+	for r.Waiting() > 0 {
+		head := r.waiters[r.head]
 		if r.inUse+head.units > r.capacity {
 			break
 		}
 		r.inUse += head.units
-		r.waiters = r.waiters[1:]
+		r.popWaiter()
 		r.eng.Immediately(head.fn)
 	}
 }
@@ -104,13 +128,13 @@ func (r *Resource) Resize(capacity int) {
 	}
 	r.capacity = capacity
 	// Admit whoever now fits.
-	for len(r.waiters) > 0 {
-		head := r.waiters[0]
+	for r.Waiting() > 0 {
+		head := r.waiters[r.head]
 		if head.units > r.capacity || r.inUse+head.units > r.capacity {
 			break
 		}
 		r.inUse += head.units
-		r.waiters = r.waiters[1:]
+		r.popWaiter()
 		r.eng.Immediately(head.fn)
 	}
 }

@@ -165,6 +165,37 @@ func TestStationParallelism(t *testing.T) {
 	}
 }
 
+func TestStationResubmitFromDone(t *testing.T) {
+	// A done callback that immediately resubmits reuses the just-recycled
+	// request object; the closed-loop chain must keep correct accounting.
+	eng := NewEngine()
+	st := NewStation(eng, 1)
+	remaining := 10
+	var sojourns []Duration
+	var next func(Duration)
+	next = func(s Duration) {
+		sojourns = append(sojourns, s)
+		if remaining > 0 {
+			remaining--
+			st.Submit(7, next)
+		}
+	}
+	remaining--
+	st.Submit(7, next)
+	eng.Run()
+	if len(sojourns) != 10 {
+		t.Fatalf("completed %d, want 10", len(sojourns))
+	}
+	for i, s := range sojourns {
+		if s != 7 {
+			t.Fatalf("sojourn[%d]=%v, want 7 (closed loop never queues)", i, s)
+		}
+	}
+	if st.Served != 10 || st.BusyTime != 70 {
+		t.Fatalf("Served=%d BusyTime=%v, want 10/70", st.Served, st.BusyTime)
+	}
+}
+
 func TestStationUtilization(t *testing.T) {
 	eng := NewEngine()
 	st := NewStation(eng, 1)

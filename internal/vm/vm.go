@@ -7,6 +7,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/device"
 	"repro/internal/pcie"
@@ -123,12 +124,15 @@ func (m *Machine) Device(name string) *device.Device { return m.devices[name] }
 // Backend returns a registered swap backend by name.
 func (m *Machine) Backend(name string) *swap.DeviceBackend { return m.backends[name] }
 
-// BackendNames lists registered backends.
+// BackendNames lists registered backends in sorted order. The order is
+// deterministic on purpose: callers feed it into backend selection, and map
+// iteration order would leak run-to-run nondeterminism into results.
 func (m *Machine) BackendNames() []string {
 	names := make([]string, 0, len(m.backends))
 	for n := range m.backends {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }
 
