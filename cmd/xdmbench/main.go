@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/invariant"
 )
 
 func main() {
@@ -22,8 +23,22 @@ func main() {
 		format  = flag.String("format", "text", "output format: text | md | csv")
 		workers = flag.Int("workers", experiments.DefaultWorkers(),
 			"worker goroutines per experiment grid (output is identical for any count)")
+		invariants = flag.Bool("invariants", false,
+			"enable runtime invariant checks; per-check counts are reported on stderr")
 	)
 	flag.Parse()
+
+	if *invariants {
+		invariant.SetHandler(invariant.PrintingHandler(os.Stderr, 20))
+		invariant.Enable()
+		defer func() {
+			invariant.WriteReport(os.Stderr)
+			if invariant.Violations() > 0 {
+				fmt.Fprintln(os.Stderr, "xdmbench: simulation violated invariants")
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *workers <= 0 {
 		fmt.Fprintf(os.Stderr, "xdmbench: -workers must be a positive integer (got %d)\n", *workers)

@@ -15,8 +15,19 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/invariant"
 	"repro/internal/workload"
 )
+
+// reportInvariants prints the per-check evaluation counts on stderr after a
+// checked run, and exits non-zero if any law was violated.
+func reportInvariants(cmd string) {
+	invariant.WriteReport(os.Stderr)
+	if invariant.Violations() > 0 {
+		fmt.Fprintf(os.Stderr, "%s: simulation violated invariants\n", cmd)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	var (
@@ -28,8 +39,16 @@ func main() {
 
 		workers = flag.Int("workers", experiments.DefaultWorkers(),
 			"worker goroutines per experiment grid (output is identical for any count)")
+		invariants = flag.Bool("invariants", false,
+			"enable runtime invariant checks; per-check counts are reported on stderr")
 	)
 	flag.Parse()
+
+	if *invariants {
+		invariant.SetHandler(invariant.PrintingHandler(os.Stderr, 20))
+		invariant.Enable()
+		defer reportInvariants("xdmsim")
+	}
 
 	if *scale <= 0 {
 		fmt.Fprintf(os.Stderr, "xdmsim: -scale must be a positive integer (got %d)\n", *scale)

@@ -15,10 +15,21 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/invariant"
 	"repro/internal/metrics"
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/units"
+)
+
+// Registered invariants for the device model: an op's end-to-end latency can
+// never undercut its base service latency (queueing and transfer only add),
+// and the payload a device completes can never exceed its rated internal
+// bandwidth × elapsed virtual time (each completion may round up to a
+// fabric completionEpsilon of bytes, hence the per-op slack).
+var (
+	ckDevLatency    = invariant.Register("device.op.latency-at-least-base")
+	ckDevThroughput = invariant.Register("device.throughput-bound")
 )
 
 // ErrDown is the completion error for ops against a dead device: the
@@ -332,6 +343,15 @@ func (d *Device) SubmitResult(op Op, done func(lat sim.Duration, err error)) {
 				} else {
 					d.ReadOps.Inc()
 					d.BytesRead += float64(op.Size)
+				}
+				if invariant.On {
+					ckDevLatency.Assert(lat >= base,
+						"op latency %v below base service latency %v", lat, base)
+					secs := at.Seconds()
+					bound := float64(d.spec.Bandwidth)*secs*(1+1e-6) + 1e-3*float64(d.Ops.Value) + 1
+					ckDevThroughput.Assert(d.TotalBytes() <= bound,
+						"device %q completed %.0f bytes in %.6fs at %.0f B/s",
+						d.spec.Name, d.TotalBytes(), secs, float64(d.spec.Bandwidth))
 				}
 				d.Latency.Add(lat.Microseconds())
 				if done != nil {

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Fig14's rendered table: one column per compared system in Table IV order,
+// one row per workload, everything normalized so the tmo column is exactly
+// 1.00 (the spot-checked anchor value).
+func TestFig14Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full Fig 14 grid")
+	}
+	o := Options{Scale: 16, Seed: 1, Workers: 4}
+	tbs := Fig14(o)
+	if len(tbs) != 1 {
+		t.Fatalf("Fig14 produced %d tables, want 1", len(tbs))
+	}
+	tb := tbs[0]
+	wantCols := []string{"workload", "linux-swap", "tmo", "fastswap", "xmempod",
+		"xdm-ssd", "xdm-rdma", "xdm-hetero"}
+	if len(tb.Columns) != len(wantCols) {
+		t.Fatalf("columns %v, want %v", tb.Columns, wantCols)
+	}
+	for i, c := range wantCols {
+		if tb.Columns[i] != c {
+			t.Fatalf("column %d = %q, want %q", i, tb.Columns[i], c)
+		}
+	}
+	if want := len(workload.Specs()); len(tb.Rows) != want {
+		t.Fatalf("%d rows, want %d (one per workload)", len(tb.Rows), want)
+	}
+	for _, row := range tb.Rows {
+		if v := cell(t, tb, row[0], "tmo"); v != "1.00" {
+			t.Errorf("%s: tmo normalization anchor = %q, want 1.00", row[0], v)
+		}
+		for i, c := range row[1:] {
+			if v := parseRatio(t, c); v <= 0 {
+				t.Errorf("%s/%s: throughput ratio %q not positive", row[0], wantCols[i+1], c)
+			}
+		}
+	}
+}
+
+// Table7's rendered table: three backend sets with parseable bandwidth and
+// utilization cells; the single-backend row must not saturate PCIe (the
+// table's whole point), and its spare fabric shows as lower root-complex
+// utilization than the 4x sets.
+func TestTable7Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the Table VII bulk transfers")
+	}
+	o := Options{Scale: 16, Seed: 1, Workers: 4}
+	tbs := Table7(o)
+	if len(tbs) != 1 {
+		t.Fatalf("Table7 produced %d tables, want 1", len(tbs))
+	}
+	tb := tbs[0]
+	wantCols := []string{"backend set", "device R/W GB/s (max)", "slot util", "root-complex util", "PCIe full?"}
+	for i, c := range wantCols {
+		if tb.Columns[i] != c {
+			t.Fatalf("column %d = %q, want %q", i, tb.Columns[i], c)
+		}
+	}
+	wantRows := []string{"4x RDMA (xDM-RDMA)", "4x SSD (xDM-SSD)", "1x RDMA (single-backend)"}
+	if len(tb.Rows) != len(wantRows) {
+		t.Fatalf("%d rows, want %d", len(tb.Rows), len(wantRows))
+	}
+	for i, name := range wantRows {
+		row := tb.Rows[i]
+		if row[0] != name {
+			t.Fatalf("row %d is %q, want %q", i, row[0], name)
+		}
+		if bw := parseRatio(t, row[1]); bw <= 0 || bw > 64 {
+			t.Errorf("%s: device bandwidth %q implausible", name, row[1])
+		}
+		for _, u := range []string{row[2], row[3]} {
+			if v := parseRatio(t, u); v < 0 || v > 100.5 {
+				t.Errorf("%s: utilization %q outside [0,100]%%", name, u)
+			}
+		}
+		if row[4] != "full" && row[4] != "no" {
+			t.Errorf("%s: PCIe full? = %q", name, row[4])
+		}
+	}
+	// Spot check: one ConnectX-5 cannot fill a Gen3 x16 root complex.
+	if got := cell(t, tb, "1x RDMA (single-backend)", "PCIe full?"); got != "no" {
+		t.Errorf("single backend reported as saturating PCIe (%q)", got)
+	}
+	single := parseRatio(t, cell(t, tb, "1x RDMA (single-backend)", "root-complex util"))
+	quad := parseRatio(t, cell(t, tb, "4x RDMA (xDM-RDMA)", "root-complex util"))
+	if single >= quad {
+		t.Errorf("single-backend root util %.1f%% not below 4x RDMA %.1f%%", single, quad)
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Fig15's rendered output: one table per SLO level, each with the same
+// header and one row per highlighted workload; offload ratios are
+// percentages in [0,100], the measured slowdown parses as a positive
+// factor, and the within-SLO verdict is consistent with the rendered
+// slowdown (the spot-checked value).
+func TestFig15Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full Fig 15 grid")
+	}
+	o := Options{Scale: 16, Seed: 1, Workers: 4}
+	tbs := Fig15(o)
+	if len(tbs) != len(fig15SLOs) {
+		t.Fatalf("Fig15 produced %d tables, want one per SLO (%d)", len(tbs), len(fig15SLOs))
+	}
+	wantCols := []string{"workload", "baseline offload", "xDM offload",
+		"xDM measured slowdown", "within SLO"}
+	for ti, tb := range tbs {
+		slo := fig15SLOs[ti]
+		if want := fmt.Sprintf("SLO %.1f", slo); !strings.Contains(tb.Title, want) {
+			t.Fatalf("table %d title %q does not name %s", ti, tb.Title, want)
+		}
+		for i, c := range wantCols {
+			if tb.Columns[i] != c {
+				t.Fatalf("table %d column %d = %q, want %q", ti, i, tb.Columns[i], c)
+			}
+		}
+		if len(tb.Rows) != len(fig15Workloads) {
+			t.Fatalf("table %d has %d rows, want %d", ti, len(tb.Rows), len(fig15Workloads))
+		}
+		for i, row := range tb.Rows {
+			if row[0] != fig15Workloads[i] {
+				t.Fatalf("table %d row %d is %q, want %q", ti, i, row[0], fig15Workloads[i])
+			}
+			for _, c := range []string{row[1], row[2]} {
+				if v := parseRatio(t, c); v < 0 || v > 100 {
+					t.Errorf("SLO %.1f %s: offload %q outside [0,100]%%", slo, row[0], c)
+				}
+			}
+			slowdown := parseRatio(t, row[3])
+			if slowdown <= 0 {
+				t.Errorf("SLO %.1f %s: slowdown %q not positive", slo, row[0], row[3])
+			}
+			// The verdict is derived from the slowdown with a 5% grace band;
+			// stay clear of the boundary so rounding cannot flip it.
+			switch {
+			case slowdown <= slo*1.04 && row[4] != "yes":
+				t.Errorf("SLO %.1f %s: slowdown %.2f within SLO but verdict %q", slo, row[0], slowdown, row[4])
+			case slowdown > slo*1.06 && row[4] != "NO":
+				t.Errorf("SLO %.1f %s: slowdown %.2f over SLO but verdict %q", slo, row[0], slowdown, row[4])
+			}
+		}
+	}
+}
+
+// Fig16's rendered table: one column per SLO, one row per friendly-share
+// mix, all throughput ratios positive.
+func TestFig16Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the Fig 16 throughput grid")
+	}
+	o := Options{Scale: 16, Seed: 1, Workers: 4}
+	tbs := Fig16(o)
+	if len(tbs) != 1 {
+		t.Fatalf("Fig16 produced %d tables, want 1", len(tbs))
+	}
+	tb := tbs[0]
+	if tb.Columns[0] != "friendly share" || len(tb.Columns) != 1+len(fig15SLOs) {
+		t.Fatalf("columns %v, want friendly share + one per SLO", tb.Columns)
+	}
+	if len(tb.Rows) != len(fig16Mixes) {
+		t.Fatalf("%d rows, want %d mixes", len(tb.Rows), len(fig16Mixes))
+	}
+	for _, row := range tb.Rows {
+		for i, c := range row[1:] {
+			if v := parseRatio(t, c); v <= 0 {
+				t.Errorf("mix %s %s: normalized throughput %q not positive", row[0], tb.Columns[i+1], c)
+			}
+		}
+	}
+}

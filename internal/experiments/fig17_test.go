@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Fig17's rendered table: one row per co-located pair, latencies in µs for
+// all three isolation schemes, and the speedup cell consistent with the
+// rendered shared and vm-isolated latencies (the spot-checked value).
+func TestFig17Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the Fig 17 co-location grid")
+	}
+	o := Options{Scale: 16, Seed: 1, Workers: 4}
+	tbs := Fig17(o)
+	if len(tbs) != 1 {
+		t.Fatalf("Fig17 produced %d tables, want 1", len(tbs))
+	}
+	tb := tbs[0]
+	wantCols := []string{"pair", "shared swap", "isolated swap", "vm-isolated swap", "shared/vm speedup"}
+	for i, c := range wantCols {
+		if tb.Columns[i] != c {
+			t.Fatalf("column %d = %q, want %q", i, tb.Columns[i], c)
+		}
+	}
+	if len(tb.Rows) != len(fig17Pairs) {
+		t.Fatalf("%d rows, want %d pairs", len(tb.Rows), len(fig17Pairs))
+	}
+	us := func(s string) float64 { return parseRatio(t, strings.TrimSuffix(s, "µs")) }
+	for i, row := range tb.Rows {
+		if want := fig17Pairs[i][0] + "+" + fig17Pairs[i][1]; row[0] != want {
+			t.Fatalf("row %d is %q, want %q", i, row[0], want)
+		}
+		shared, iso, vmIso := us(row[1]), us(row[2]), us(row[3])
+		for _, v := range []float64{shared, iso, vmIso} {
+			if v <= 0 {
+				t.Errorf("%s: non-positive latency in %v", row[0], row)
+			}
+		}
+		// Spot check: the speedup column is shared/vm-isolated, re-derivable
+		// from the rendered cells up to their 2-decimal rounding.
+		sp := parseRatio(t, row[4])
+		if recomputed := shared / vmIso; math.Abs(recomputed-sp) > 0.05 {
+			t.Errorf("%s: speedup %.2f inconsistent with %.2fµs/%.2fµs", row[0], sp, shared, vmIso)
+		}
+	}
+	found := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "mean vm-isolated speedup") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("mean speedup note missing")
+	}
+}

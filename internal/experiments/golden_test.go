@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden corpus instead of comparing against it:
+//
+//	go test ./internal/experiments -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden experiment corpus")
+
+// goldenOptions is the canonical corpus configuration. Scale 8 keeps the
+// full sweep affordable in CI; Workers > 1 is safe because output is proven
+// byte-identical for any worker count (TestParallelWorkersDeterministic).
+func goldenOptions() Options {
+	o := TestOptions()
+	o.Workers = 4
+	return o
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".golden")
+}
+
+// diffLines renders a readable line-level diff of the first divergences so a
+// golden failure points straight at the drifted cell.
+func diffLines(want, got []byte) string {
+	wl := strings.Split(string(want), "\n")
+	gl := strings.Split(string(got), "\n")
+	var b strings.Builder
+	shown := 0
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w == g {
+			continue
+		}
+		fmt.Fprintf(&b, "line %d:\n  golden: %s\n  got:    %s\n", i+1, w, g)
+		shown++
+		if shown >= 8 {
+			fmt.Fprintf(&b, "... (further differences suppressed)\n")
+			break
+		}
+	}
+	return b.String()
+}
+
+// TestGoldenCorpus locks the rendered output of every registered experiment
+// grid to a checked-in golden file. Any behavioural drift — a model constant
+// change, an accounting fix, a new nondeterminism leak — fails here with a
+// line diff. After an intentional change, regenerate with -update and review
+// the corpus diff like any other code change.
+func TestGoldenCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped in -short mode")
+	}
+	o := goldenOptions()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			got := renderExperiment(t, id, o)
+			path := goldenPath(id)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden file for %q (run: go test ./internal/experiments -run Golden -update): %v", id, err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Errorf("output drifted from golden corpus %s:\n%s", path, diffLines(want, got))
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusComplete fails when an experiment is registered without a
+// golden file, or a stale golden file survives an experiment's removal —
+// the corpus must cover exactly the registry.
+func TestGoldenCorpusComplete(t *testing.T) {
+	if *update {
+		t.Skip("corpus being rewritten")
+	}
+	want := make(map[string]bool)
+	for _, id := range IDs() {
+		want[id+".golden"] = true
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatalf("golden corpus missing: %v", err)
+	}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		if !want[e.Name()] {
+			t.Errorf("stale golden file %s has no registered experiment", e.Name())
+		}
+		seen[e.Name()] = true
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("registered experiment lacks golden file %s", name)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/invariant"
+)
+
+// TestAllExperimentsCleanUnderInvariants runs every registered experiment
+// grid with the runtime checking layer enabled, at Workers=1 and Workers=8,
+// and requires zero violations. Violations are collected (not panicked) so
+// one failure reports every broken law instead of dying on the first.
+//
+// Not t.Parallel: it toggles the package-global invariant gate, so it must
+// not overlap tests that assume checks are off. Go runs it to completion
+// before any paused t.Parallel tests resume.
+func TestAllExperimentsCleanUnderInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped in -short mode")
+	}
+	var violations []invariant.Violation
+	restore := invariant.SetHandler(func(v invariant.Violation) {
+		violations = append(violations, v)
+	})
+	defer restore()
+	invariant.Reset()
+	invariant.Enable()
+	defer invariant.Disable()
+
+	for _, workers := range []int{1, 8} {
+		o := TestOptions()
+		o.Scale = 16 // fidelity is irrelevant here; invariants must hold at any scale
+		o.Workers = workers
+		for _, id := range IDs() {
+			before := len(violations)
+			renderExperiment(t, id, o)
+			if n := len(violations) - before; n > 0 {
+				t.Errorf("experiment %q (Workers=%d): %d invariant violations, first: %v",
+					id, workers, n, violations[before])
+			}
+		}
+	}
+	if invariant.Checks() == 0 {
+		t.Fatal("invariant layer evaluated zero checks across the full sweep; gate is not wired")
+	}
+	t.Logf("evaluated %d invariant checks, %d violations", invariant.Checks(), invariant.Violations())
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/pcie"
+)
+
+// Fig3 is fully static (no simulation): exact header, one row per PCIe
+// generation, and the Gen4 x16 cell matching the fabric model directly (the
+// spot-checked value).
+func TestFig3Render(t *testing.T) {
+	tbs := Fig3(Options{})
+	if len(tbs) != 1 {
+		t.Fatalf("Fig3 produced %d tables, want 1", len(tbs))
+	}
+	tb := tbs[0]
+	wantCols := []string{"generation", "year", "GT/s/lane", "x16 GB/s", "x16 duplex GB/s"}
+	for i, c := range wantCols {
+		if tb.Columns[i] != c {
+			t.Fatalf("column %d = %q, want %q", i, tb.Columns[i], c)
+		}
+	}
+	gens := []pcie.Generation{pcie.Gen1, pcie.Gen2, pcie.Gen3, pcie.Gen4, pcie.Gen5, pcie.Gen6}
+	if len(tb.Rows) != len(gens) {
+		t.Fatalf("%d rows, want %d generations", len(tb.Rows), len(gens))
+	}
+	for i, g := range gens {
+		if tb.Rows[i][0] != g.String() {
+			t.Fatalf("row %d is %q, want %q", i, tb.Rows[i][0], g.String())
+		}
+	}
+	if got, want := cell(t, tb, pcie.Gen4.String(), "x16 GB/s"), f2(pcie.Gen4.SlotBandwidth(16).GB()); got != want {
+		t.Errorf("Gen4 x16 bandwidth cell %q, want %q", got, want)
+	}
+	// The duplex column is exactly double the simplex slot bandwidth.
+	for _, g := range gens {
+		slot := parseRatio(t, cell(t, tb, g.String(), "x16 GB/s"))
+		duplex := parseRatio(t, cell(t, tb, g.String(), "x16 duplex GB/s"))
+		if duplex < 1.99*slot || duplex > 2.01*slot {
+			t.Errorf("%s: duplex %.2f not double of %.2f", g.String(), duplex, slot)
+		}
+	}
+}
+
+// Header and row-shape assertions for the simulated micro figures (their
+// values are covered by TestFig1bShape, TestFig2bOrdering,
+// TestFig4MultiPathWins, and TestFig5aCrossover).
+func TestMicroHeaders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four micro benchmarks")
+	}
+	o := Options{Scale: 16, Seed: 1, Workers: 4}
+	cases := []struct {
+		id   string
+		cols []string
+		rows int
+	}{
+		{"fig1b", []string{"device", "kind", "spec GB/s", "measured GB/s", "PCIe 4.0 x16 share"},
+			len(device.Catalog())},
+		{"fig2b", []string{"backend", "pages", "total", "mean/page", "max/page"}, 4},
+		{"fig4", []string{"configuration", "mean swap-in latency", "normalized", "speedup"}, 2},
+		{"fig5a", []string{"unit size", "contiguous (frag .001)", "moderate (frag .03)", "fragmented (frag .2)"}, 6},
+	}
+	for _, tc := range cases {
+		tbs, ok := Run(tc.id, o)
+		if !ok || len(tbs) != 1 {
+			t.Fatalf("%s: expected exactly one table", tc.id)
+		}
+		tb := tbs[0]
+		if len(tb.Columns) != len(tc.cols) {
+			t.Fatalf("%s: columns %v, want %v", tc.id, tb.Columns, tc.cols)
+		}
+		for i, c := range tc.cols {
+			if tb.Columns[i] != c {
+				t.Errorf("%s: column %d = %q, want %q", tc.id, i, tb.Columns[i], c)
+			}
+		}
+		if len(tb.Rows) != tc.rows {
+			t.Errorf("%s: %d rows, want %d", tc.id, len(tb.Rows), tc.rows)
+		}
+		for ri, row := range tb.Rows {
+			if len(row) != len(tc.cols) {
+				t.Errorf("%s: row %d has %d cells, want %d", tc.id, ri, len(row), len(tc.cols))
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Table6's rendered table: exact header, one row per workload in spec order,
+// and internal consistency between the per-backend speedup cells, the
+// average, and the derived S/F classification.
+func TestTable6Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full Table VI grid")
+	}
+	o := Options{Scale: 16, Seed: 1, Workers: 4}
+	tbs := Table6(o)
+	if len(tbs) != 1 {
+		t.Fatalf("Table6 produced %d tables, want 1", len(tbs))
+	}
+	tb := tbs[0]
+	wantCols := []string{"workload", "paper S/F", "Sp. DRAM", "Sp. SSD", "Sp. RDMA",
+		"average", "classified"}
+	if len(tb.Columns) != len(wantCols) {
+		t.Fatalf("columns %v, want %v", tb.Columns, wantCols)
+	}
+	for i, c := range wantCols {
+		if tb.Columns[i] != c {
+			t.Fatalf("column %d = %q, want %q", i, tb.Columns[i], c)
+		}
+	}
+	specs := workload.Specs()
+	if len(tb.Rows) != len(specs) {
+		t.Fatalf("%d rows, want one per workload (%d)", len(tb.Rows), len(specs))
+	}
+	for i, spec := range specs {
+		row := tb.Rows[i]
+		if row[0] != spec.Name {
+			t.Fatalf("row %d is %q, want %q (spec order)", i, row[0], spec.Name)
+		}
+		if row[1] != string(spec.SwapFeature) {
+			t.Errorf("%s: paper S/F = %q, want %q", spec.Name, row[1], string(spec.SwapFeature))
+		}
+		// Spot-check: the average cell is the mean of the three rendered
+		// speedups, and the classification is derived from it.
+		dram := parseRatio(t, row[2])
+		ssd := parseRatio(t, row[3])
+		rdma := parseRatio(t, row[4])
+		avg := parseRatio(t, row[5])
+		if mean := (dram + ssd + rdma) / 3; math.Abs(mean-avg) > 0.02 {
+			t.Errorf("%s: average %.2f inconsistent with cells (%.2f %.2f %.2f)",
+				spec.Name, avg, dram, ssd, rdma)
+		}
+		wantClass := "S"
+		if avg >= 1.51 {
+			wantClass = "F"
+		} else if avg >= 1.49 {
+			continue // too close to the threshold to pin through rounding
+		}
+		if row[6] != wantClass {
+			t.Errorf("%s: classified %q with average %.2f, want %q", spec.Name, row[6], avg, wantClass)
+		}
+	}
+	if len(tb.Notes) == 0 {
+		t.Error("Table VI note about baselines missing")
+	}
+}

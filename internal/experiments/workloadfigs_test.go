@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Fig5b's rendered table: runtimes per I/O width normalized so the w=1
+// column is exactly 1.00 (the spot-checked anchor value).
+func TestFig5bRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the Fig 5b width grid")
+	}
+	o := Options{Scale: 16, Seed: 1, Workers: 4}
+	tbs := Fig5b(o)
+	if len(tbs) != 1 {
+		t.Fatalf("Fig5b produced %d tables, want 1", len(tbs))
+	}
+	tb := tbs[0]
+	wantCols := []string{"workload", "w=1", "w=2", "w=4", "w=8", "w=16"}
+	for i, c := range wantCols {
+		if tb.Columns[i] != c {
+			t.Fatalf("column %d = %q, want %q", i, tb.Columns[i], c)
+		}
+	}
+	wantRows := []string{"lg-bfs", "sp-pg", "bert", "clip"}
+	if len(tb.Rows) != len(wantRows) {
+		t.Fatalf("%d rows, want %d", len(tb.Rows), len(wantRows))
+	}
+	for i, name := range wantRows {
+		if tb.Rows[i][0] != name {
+			t.Fatalf("row %d is %q, want %q", i, tb.Rows[i][0], name)
+		}
+		if v := cell(t, tb, name, "w=1"); v != "1.00" {
+			t.Errorf("%s: w=1 normalization anchor = %q, want 1.00", name, v)
+		}
+		for _, c := range tb.Rows[i][1:] {
+			if v := parseRatio(t, c); v <= 0 {
+				t.Errorf("%s: normalized runtime %q not positive", name, c)
+			}
+		}
+	}
+}
+
+// Fig8's rendered table: backend preference rows with the anon ratio taken
+// straight from the workload spec (the spot-checked value) and an MEI pick
+// naming one of the two candidate backends.
+func TestFig8Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the Fig 8 backend comparison")
+	}
+	o := Options{Scale: 16, Seed: 1, Workers: 4}
+	tbs := Fig8(o)
+	if len(tbs) != 1 {
+		t.Fatalf("Fig8 produced %d tables, want 1", len(tbs))
+	}
+	tb := tbs[0]
+	wantCols := []string{"workload", "anon ratio", "runtime SSD", "runtime RDMA", "rdma gain", "MEI pick"}
+	for i, c := range wantCols {
+		if tb.Columns[i] != c {
+			t.Fatalf("column %d = %q, want %q", i, tb.Columns[i], c)
+		}
+	}
+	wantRows := []string{"lg-bc", "sort", "gg-bfs", "lpk"}
+	if len(tb.Rows) != len(wantRows) {
+		t.Fatalf("%d rows, want %d", len(tb.Rows), len(wantRows))
+	}
+	for i, name := range wantRows {
+		if tb.Rows[i][0] != name {
+			t.Fatalf("row %d is %q, want %q", i, tb.Rows[i][0], name)
+		}
+		if got, want := cell(t, tb, name, "anon ratio"), f2(workload.ByName(name).AnonFraction); got != want {
+			t.Errorf("%s: anon ratio %q, want %q (from the spec)", name, got, want)
+		}
+		if pick := cell(t, tb, name, "MEI pick"); pick != "ssd" && pick != "rdma" {
+			t.Errorf("%s: MEI pick %q not a candidate backend", name, pick)
+		}
+	}
+}
+
+// Fig10's rendered table: one row per workload with the fragment ratio in
+// (0,1] and the mean segment length equal to its reciprocal (the
+// spot-checked relationship).
+func TestFig10Render(t *testing.T) {
+	tbs := Fig10(TestOptions())
+	if len(tbs) != 1 {
+		t.Fatalf("Fig10 produced %d tables, want 1", len(tbs))
+	}
+	tb := tbs[0]
+	wantCols := []string{"workload", "touched pages", "fragment ratio", "mean segment (pages)"}
+	for i, c := range wantCols {
+		if tb.Columns[i] != c {
+			t.Fatalf("column %d = %q, want %q", i, tb.Columns[i], c)
+		}
+	}
+	if want := len(workload.Specs()); len(tb.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(tb.Rows), want)
+	}
+	for _, row := range tb.Rows {
+		if pages := parseRatio(t, row[1]); pages < 1 {
+			t.Errorf("%s: touched pages %q implausible", row[0], row[1])
+		}
+		frag := parseRatio(t, row[2])
+		if frag <= 0 || frag > 1 {
+			t.Errorf("%s: fragment ratio %q outside (0,1]", row[0], row[2])
+			continue
+		}
+		// The ratio cell is rendered at 4 decimals, so its reciprocal is only
+		// known within the quantization band [1/(frag+q), 1/(frag-q)].
+		seg := parseRatio(t, row[3])
+		const q = 0.00005
+		lo, hi := 1/(frag+q), 1/(frag-q)
+		if seg < lo-0.02 || seg > hi+0.02 {
+			t.Errorf("%s: mean segment %.2f not the reciprocal of fragment ratio %.4f (band [%.2f, %.2f])",
+				row[0], seg, frag, lo, hi)
+		}
+	}
+}
+
+// Fig11's rendered table: sequentiality signals per workload, with shares
+// in [0,1] and a positive width decision.
+func TestFig11Render(t *testing.T) {
+	tbs := Fig11(TestOptions())
+	if len(tbs) != 1 {
+		t.Fatalf("Fig11 produced %d tables, want 1", len(tbs))
+	}
+	tb := tbs[0]
+	wantCols := []string{"workload", "seq share", "max seq run (pages)", "hot ratio", "width pick"}
+	for i, c := range wantCols {
+		if tb.Columns[i] != c {
+			t.Fatalf("column %d = %q, want %q", i, tb.Columns[i], c)
+		}
+	}
+	if want := len(workload.Specs()); len(tb.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(tb.Rows), want)
+	}
+	for _, row := range tb.Rows {
+		for _, share := range []string{row[1], row[3]} {
+			if v := parseRatio(t, share); v < 0 || v > 1 {
+				t.Errorf("%s: share %q outside [0,1]", row[0], share)
+			}
+		}
+		if v := parseRatio(t, row[4]); v < 1 {
+			t.Errorf("%s: width pick %q not positive", row[0], row[4])
+		}
+	}
+}
+
+// Fig12's rendered table: NUMA placement runtimes normalized so bind-local
+// is exactly 1.00 (the spot-checked anchor value).
+func TestFig12Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the Fig 12 NUMA grid")
+	}
+	o := Options{Scale: 16, Seed: 1, Workers: 4}
+	tbs := Fig12(o)
+	if len(tbs) != 1 {
+		t.Fatalf("Fig12 produced %d tables, want 1", len(tbs))
+	}
+	tb := tbs[0]
+	wantCols := []string{"workload", "bind-local", "interleave", "prefer-remote", "sensitivity"}
+	for i, c := range wantCols {
+		if tb.Columns[i] != c {
+			t.Fatalf("column %d = %q, want %q", i, tb.Columns[i], c)
+		}
+	}
+	wantRows := []string{"stream", "lpk", "kmeans", "bert"}
+	if len(tb.Rows) != len(wantRows) {
+		t.Fatalf("%d rows, want %d", len(tb.Rows), len(wantRows))
+	}
+	for i, name := range wantRows {
+		if tb.Rows[i][0] != name {
+			t.Fatalf("row %d is %q, want %q", i, tb.Rows[i][0], name)
+		}
+		if v := cell(t, tb, name, "bind-local"); v != "1.00" {
+			t.Errorf("%s: bind-local anchor = %q, want 1.00", name, v)
+		}
+		for _, c := range []string{cell(t, tb, name, "interleave"), cell(t, tb, name, "prefer-remote")} {
+			if v := parseRatio(t, c); v <= 0 {
+				t.Errorf("%s: normalized runtime %q not positive", name, c)
+			}
+		}
+	}
+}

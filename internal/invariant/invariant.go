@@ -1,0 +1,200 @@
+// Package invariant is the simulator's runtime checking layer: conservation
+// laws and structural invariants (clock monotonicity, page conservation, LRU
+// exclusivity, swap-slot allocation discipline, link-throughput bounds, queue
+// occupancy) are registered once per call site and evaluated inline on the
+// hot paths of sim, mem, swap, device, pcie, and vm.
+//
+// The layer is designed to be near-zero-cost when disabled: every call site
+// guards its check with `if invariant.On { ... }`, a single predictable
+// branch on a package-level bool, so the condition expression itself is never
+// evaluated in normal runs. When enabled, each check counts hits and failures
+// with atomic counters (grids run cells on several goroutines), and a failure
+// is routed to the installed violation handler — panic by default, or a
+// collector in tests that want to observe violations without dying.
+package invariant
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// On gates every check in the tree. Callers must read it before evaluating a
+// check condition:
+//
+//	if invariant.On {
+//		ckClock.Assert(ev.at >= e.now, "time went backwards")
+//	}
+//
+// It is written only by Enable/Disable, which must not race with a running
+// simulation: flip it before spawning workers and after joining them.
+var On bool
+
+// Enable turns checking on. Counters keep accumulating across Enable/Disable
+// cycles until Reset.
+func Enable() { On = true }
+
+// Disable turns checking off.
+func Disable() { On = false }
+
+// Check is one registered invariant call site.
+type Check struct {
+	name  string
+	hits  atomic.Uint64
+	fails atomic.Uint64
+}
+
+// Violation describes one failed check.
+type Violation struct {
+	Check   string
+	Message string
+}
+
+func (v Violation) Error() string {
+	return fmt.Sprintf("invariant %s violated: %s", v.Check, v.Message)
+}
+
+var (
+	mu       sync.Mutex
+	registry []*Check
+	handler  atomic.Pointer[func(Violation)]
+)
+
+// Register creates (or returns the existing) check with the given name.
+// Call it from package var initializers so the check object is resolved once,
+// not looked up per event.
+func Register(name string) *Check {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, c := range registry {
+		if c.name == name {
+			return c
+		}
+	}
+	c := &Check{name: name}
+	registry = append(registry, c)
+	return c
+}
+
+// Name reports the check's registered name.
+func (c *Check) Name() string { return c.name }
+
+// Assert evaluates one occurrence of the invariant: ok=true counts a hit,
+// ok=false counts a failure and routes a formatted Violation to the handler.
+// Callers are expected to have tested invariant.On already; Assert itself
+// does not re-check it so that tests can drive checks directly.
+func (c *Check) Assert(ok bool, format string, args ...any) {
+	c.hits.Add(1)
+	if ok {
+		return
+	}
+	c.fails.Add(1)
+	v := Violation{Check: c.name, Message: fmt.Sprintf(format, args...)}
+	if h := handler.Load(); h != nil {
+		(*h)(v)
+		return
+	}
+	panic(v)
+}
+
+// Hits reports how many times this check was evaluated.
+func (c *Check) Hits() uint64 { return c.hits.Load() }
+
+// Fails reports how many times this check failed.
+func (c *Check) Fails() uint64 { return c.fails.Load() }
+
+// SetHandler installs fn as the violation handler and returns a function
+// restoring the previous one. A nil handler restores the default (panic).
+// Tests use this to collect violations instead of crashing:
+//
+//	defer invariant.SetHandler(func(v invariant.Violation) { got = append(got, v) })()
+func SetHandler(fn func(Violation)) (restore func()) {
+	var prev *func(Violation)
+	if fn == nil {
+		prev = handler.Swap(nil)
+	} else {
+		prev = handler.Swap(&fn)
+	}
+	return func() { handler.Store(prev) }
+}
+
+// Stat is one row of Report.
+type Stat struct {
+	Name  string
+	Hits  uint64
+	Fails uint64
+}
+
+// Report returns per-check statistics sorted by name, skipping checks that
+// never ran.
+func Report() []Stat {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Stat, 0, len(registry))
+	for _, c := range registry {
+		if h := c.hits.Load(); h > 0 {
+			out = append(out, Stat{Name: c.name, Hits: h, Fails: c.fails.Load()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Checks reports the total number of check evaluations across all sites.
+func Checks() uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	var n uint64
+	for _, c := range registry {
+		n += c.hits.Load()
+	}
+	return n
+}
+
+// Violations reports the total number of failures across all sites.
+func Violations() uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	var n uint64
+	for _, c := range registry {
+		n += c.fails.Load()
+	}
+	return n
+}
+
+// PrintingHandler returns a violation handler that writes each violation to
+// w instead of panicking, capping output at max lines so a hot broken check
+// cannot flood the terminal. For CLI use; tests usually collect instead.
+func PrintingHandler(w io.Writer, max int) func(Violation) {
+	var printed atomic.Uint64
+	return func(v Violation) {
+		n := printed.Add(1)
+		if max > 0 && n > uint64(max) {
+			return
+		}
+		fmt.Fprintf(w, "%v\n", v)
+		if max > 0 && n == uint64(max) {
+			fmt.Fprintf(w, "invariant: further violations suppressed\n")
+		}
+	}
+}
+
+// WriteReport writes per-check evaluation counts and a total line to w.
+func WriteReport(w io.Writer) {
+	for _, s := range Report() {
+		fmt.Fprintf(w, "invariant %-42s %12d checks %6d violations\n", s.Name, s.Hits, s.Fails)
+	}
+	fmt.Fprintf(w, "invariants: %d checks, %d violations\n", Checks(), Violations())
+}
+
+// Reset zeroes all counters (registrations stay).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, c := range registry {
+		c.hits.Store(0)
+		c.fails.Store(0)
+	}
+}

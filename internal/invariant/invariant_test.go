@@ -1,0 +1,137 @@
+package invariant
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegisterDedupes(t *testing.T) {
+	a := Register("test.dedupe")
+	b := Register("test.dedupe")
+	if a != b {
+		t.Fatal("Register returned distinct objects for the same name")
+	}
+	if a.Name() != "test.dedupe" {
+		t.Fatalf("Name() = %q", a.Name())
+	}
+}
+
+func TestAssertCountsAndPanics(t *testing.T) {
+	Reset()
+	c := Register("test.panics")
+	c.Assert(true, "fine")
+	if c.Hits() != 1 || c.Fails() != 0 {
+		t.Fatalf("hits=%d fails=%d after passing assert", c.Hits(), c.Fails())
+	}
+	defer func() {
+		r := recover()
+		v, ok := r.(Violation)
+		if !ok {
+			t.Fatalf("recovered %T, want Violation", r)
+		}
+		if !strings.Contains(v.Error(), "test.panics") || !strings.Contains(v.Error(), "boom 7") {
+			t.Fatalf("violation message %q", v.Error())
+		}
+		if c.Fails() != 1 {
+			t.Fatalf("fails=%d after failing assert", c.Fails())
+		}
+	}()
+	c.Assert(false, "boom %d", 7)
+}
+
+func TestCollectorHandler(t *testing.T) {
+	Reset()
+	c := Register("test.collect")
+	var got []Violation
+	restore := SetHandler(func(v Violation) { got = append(got, v) })
+	c.Assert(false, "first")
+	c.Assert(false, "second")
+	restore()
+	if len(got) != 2 || got[0].Message != "first" || got[1].Message != "second" {
+		t.Fatalf("collected %+v", got)
+	}
+	// Default handler is back: a failure panics again.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("restored handler did not panic")
+			}
+		}()
+		c.Assert(false, "third")
+	}()
+}
+
+func TestReportTotalsAndReset(t *testing.T) {
+	Reset()
+	restore := SetHandler(func(Violation) {})
+	defer restore()
+	a := Register("test.report.a")
+	b := Register("test.report.b")
+	a.Assert(true, "")
+	a.Assert(false, "x")
+	b.Assert(true, "")
+	stats := Report()
+	var sa, sb *Stat
+	for i := range stats {
+		switch stats[i].Name {
+		case "test.report.a":
+			sa = &stats[i]
+		case "test.report.b":
+			sb = &stats[i]
+		}
+	}
+	if sa == nil || sb == nil {
+		t.Fatalf("Report missing rows: %+v", stats)
+	}
+	if sa.Hits != 2 || sa.Fails != 1 || sb.Hits != 1 || sb.Fails != 0 {
+		t.Fatalf("stats a=%+v b=%+v", sa, sb)
+	}
+	if Checks() < 3 || Violations() < 1 {
+		t.Fatalf("Checks=%d Violations=%d", Checks(), Violations())
+	}
+	Reset()
+	if Checks() != 0 || Violations() != 0 {
+		t.Fatalf("after Reset: Checks=%d Violations=%d", Checks(), Violations())
+	}
+	for _, s := range Report() {
+		if strings.HasPrefix(s.Name, "test.report.") {
+			t.Fatalf("Report still lists %q after Reset", s.Name)
+		}
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	if On {
+		t.Fatal("checks enabled at package init")
+	}
+	Enable()
+	if !On {
+		t.Fatal("Enable did not set On")
+	}
+	Disable()
+	if On {
+		t.Fatal("Disable did not clear On")
+	}
+}
+
+// Counters must be safe under concurrent assertion: grid cells evaluate
+// checks from several worker goroutines.
+func TestConcurrentAsserts(t *testing.T) {
+	Reset()
+	c := Register("test.concurrent")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Assert(true, "")
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Hits() != 8000 {
+		t.Fatalf("hits = %d, want 8000", c.Hits())
+	}
+}

@@ -7,9 +7,31 @@ package mem
 import (
 	"fmt"
 
+	"repro/internal/invariant"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
+
+// Registered invariants for the LRU machinery. Exclusivity is the kernel's
+// core list law: every resident page sits on exactly one of active/inactive,
+// so active.size + inactive.size always equals the resident count, and the
+// per-type resident counts always sum to it. Audit() proves the structural
+// version (walking the links); these O(1) checks guard every mutation.
+var (
+	ckLRUExclusive = invariant.Register("mem.lru.exclusive")
+	ckLRUCounts    = invariant.Register("mem.lru.resident-counts")
+)
+
+// checkCounts asserts the O(1) conservation laws after an LRU mutation.
+func (ps *PageSet) checkCounts() {
+	ckLRUExclusive.Assert(ps.active.size+ps.inactive.size == ps.resident,
+		"active %d + inactive %d != resident %d",
+		ps.active.size, ps.inactive.size, ps.resident)
+	ckLRUCounts.Assert(ps.resident >= 0 &&
+		ps.residentByType[Anonymous]+ps.residentByType[FileBacked] == ps.resident,
+		"resident %d, by type %d+%d",
+		ps.resident, ps.residentByType[Anonymous], ps.residentByType[FileBacked])
+}
 
 // PageType distinguishes the two page classes the paper's switching strategy
 // keys on (Fig 8): anonymous pages go through the swap path; file-backed
@@ -181,6 +203,9 @@ func (ps *PageSet) MakeResident(id int32, node int8) {
 	ps.pushFront(&ps.inactive, id)
 	ps.resident++
 	ps.residentByType[p.Type]++
+	if invariant.On {
+		ps.checkCounts()
+	}
 }
 
 // Evict removes page id from local memory and from its LRU list, reporting
@@ -199,6 +224,9 @@ func (ps *PageSet) Evict(id int32) (dirty bool) {
 	ps.residentByType[p.Type]--
 	dirty = p.Dirty
 	p.Dirty = false
+	if invariant.On {
+		ps.checkCounts()
+	}
 	return dirty
 }
 
@@ -223,6 +251,11 @@ func (ps *PageSet) Touch(id int32, now sim.Time, write bool) {
 	case onActive:
 		ps.remove(&ps.active, id)
 		ps.pushFront(&ps.active, id)
+	}
+	if invariant.On {
+		ckLRUExclusive.Assert(p.list == onActive || p.list == onInactive,
+			"resident page %d on no LRU list after touch", id)
+		ps.checkCounts()
 	}
 }
 
@@ -250,6 +283,77 @@ func (ps *PageSet) balance() {
 		ps.pages[id].list = onInactive
 		ps.pushFront(&ps.inactive, id)
 	}
+}
+
+// Audit walks the full LRU structure and verifies it against the page table:
+// list links are mutually consistent, recorded sizes match the walks, every
+// resident page sits on exactly the list its tag claims (and non-resident
+// pages on none), and the resident counters match a recount. It is O(n) —
+// meant for tests and the metamorphic suite, not the hot path.
+func (ps *PageSet) Audit() error {
+	walk := func(l *lru, id listID, name string) (map[int32]bool, error) {
+		seen := make(map[int32]bool)
+		prev := nilPage
+		for cur := l.head; cur != nilPage; cur = ps.pages[cur].next {
+			if seen[cur] {
+				return nil, fmt.Errorf("mem audit: %s list cycles at page %d", name, cur)
+			}
+			seen[cur] = true
+			p := &ps.pages[cur]
+			if p.prev != prev {
+				return nil, fmt.Errorf("mem audit: %s list back-link of page %d is %d, want %d",
+					name, cur, p.prev, prev)
+			}
+			if p.list != id {
+				return nil, fmt.Errorf("mem audit: page %d on %s list but tagged %d", cur, name, p.list)
+			}
+			if !p.Resident {
+				return nil, fmt.Errorf("mem audit: non-resident page %d on %s list", cur, name)
+			}
+			prev = cur
+		}
+		if l.tail != prev {
+			return nil, fmt.Errorf("mem audit: %s tail is %d, walk ended at %d", name, l.tail, prev)
+		}
+		if l.size != len(seen) {
+			return nil, fmt.Errorf("mem audit: %s size %d, walk found %d", name, l.size, len(seen))
+		}
+		return seen, nil
+	}
+	act, err := walk(&ps.active, onActive, "active")
+	if err != nil {
+		return err
+	}
+	inact, err := walk(&ps.inactive, onInactive, "inactive")
+	if err != nil {
+		return err
+	}
+	var resident int
+	var byType [2]int
+	for i := range ps.pages {
+		id := int32(i)
+		p := &ps.pages[i]
+		onAct, onInact := act[id], inact[id]
+		if onAct && onInact {
+			return fmt.Errorf("mem audit: page %d on both LRU lists", id)
+		}
+		if p.Resident {
+			resident++
+			byType[p.Type]++
+			if !onAct && !onInact {
+				return fmt.Errorf("mem audit: resident page %d on no LRU list", id)
+			}
+		} else if onAct || onInact {
+			return fmt.Errorf("mem audit: non-resident page %d on an LRU list", id)
+		}
+	}
+	if resident != ps.resident {
+		return fmt.Errorf("mem audit: resident counter %d, recount %d", ps.resident, resident)
+	}
+	if byType != ps.residentByType {
+		return fmt.Errorf("mem audit: residentByType %v, recount %v", ps.residentByType, byType)
+	}
+	return nil
 }
 
 // ColdestResident iterates reclaim order without mutating state: it calls

@@ -1,0 +1,242 @@
+package metamorphic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/invariant"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/swap"
+	"repro/internal/task"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// randSpec draws a valid randomized workload spec. Threads is drawn from
+// [1, maxThreads]; the monotonicity laws use maxThreads=1 so the access and
+// reclaim trajectory is independent of device timing (with one worker, every
+// residency decision depends only on the access sequence, so changing device
+// speed can only move the same events in time).
+func randSpec(r *rand.Rand, maxThreads int) workload.Spec {
+	s := workload.Spec{
+		Name:           "meta",
+		Class:          workload.Compute,
+		FootprintPages: 256 + r.Intn(1792),
+		AnonFraction:   0.4 + r.Float64()*0.6,
+		Coverage:       0.4 + r.Float64()*0.6,
+		SegmentLen:     1 + r.Intn(64),
+		SeqShare:       r.Float64(),
+		RunLen:         1 + r.Intn(16),
+		HotShare:       0.05 + r.Float64()*0.35,
+		HotProb:        0.3 + r.Float64()*0.6,
+		WriteFraction:  r.Float64() * 0.6,
+		MainAccesses:   4000 + r.Intn(8000),
+		Threads:        1 + r.Intn(maxThreads),
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// runStack executes one full-stack simulation — seeded workload stream →
+// task fault/reclaim → swap path → device queueing → PCIe fluid-flow — and
+// returns the finished task and its stats.
+func runStack(t *testing.T, spec workload.Spec, devSpec device.Spec, ratio float64, seed int64) (*task.Task, task.Stats) {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := vm.NewMachine(eng, pcie.Gen3, 16, 20, 64*workload.PagesPerGiB)
+	m.AttachDevice(devSpec)
+	path := swap.NewPath(eng, m.Backend(devSpec.Name), swap.NewChannel(eng, "meta-ch", 4))
+	cfg := task.Config{
+		Eng:              eng,
+		Name:             "meta",
+		Spec:             spec,
+		Seed:             seed,
+		LocalRatio:       ratio,
+		SwapPath:         path,
+		GranularityPages: 1,
+	}
+	tk := task.New(cfg)
+	var stats task.Stats
+	finished := false
+	tk.Start(func(s task.Stats) { stats = s; finished = true })
+	eng.Run()
+	if !finished {
+		t.Fatalf("task did not finish (spec %+v)", spec)
+	}
+	return tk, stats
+}
+
+// withInvariants enables the checking layer for the duration of fn,
+// collecting violations instead of panicking, and fails the test on any.
+func withInvariants(t *testing.T, fn func()) {
+	t.Helper()
+	var violations []invariant.Violation
+	restore := invariant.SetHandler(func(v invariant.Violation) {
+		violations = append(violations, v)
+	})
+	defer restore()
+	invariant.Reset()
+	invariant.Enable()
+	defer invariant.Disable()
+	fn()
+	if len(violations) > 0 {
+		t.Fatalf("%d invariant violations, first: %v", len(violations), violations[0])
+	}
+	if invariant.Checks() == 0 {
+		t.Fatal("zero invariant checks evaluated; gate is not wired")
+	}
+}
+
+// TestFullStackRandomizedInvariants drives randomized seeded simulations
+// through the whole stack with every invariant enabled, then runs the O(n)
+// structural audits (LRU walk, slot bijection, far-copy conservation) over
+// the final state. Multi-threaded specs are included deliberately: worker
+// interleaving is where accounting bugs hide.
+func TestFullStackRandomizedInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	devs := []device.Spec{
+		device.SpecTestbedSSD("ssd"),
+		device.SpecConnectX5("rdma"),
+		device.SpecRemoteDRAM("dram"),
+	}
+	withInvariants(t, func() {
+		for i := 0; i < 8; i++ {
+			spec := randSpec(r, 3)
+			devSpec := devs[i%len(devs)]
+			ratio := 0.2 + r.Float64()*0.7
+			seed := r.Int63n(1 << 30)
+			tk, stats := runStack(t, spec, devSpec, ratio, seed)
+			if err := tk.AuditConservation(); err != nil {
+				t.Errorf("run %d (%s ratio %.2f seed %d): %v", i, devSpec.Name, ratio, seed, err)
+			}
+			if stats.Accesses == 0 || stats.Runtime <= 0 {
+				t.Errorf("run %d: degenerate stats %+v", i, stats)
+			}
+		}
+	})
+	t.Logf("evaluated %d checks", invariant.Checks())
+}
+
+// aggregateMakespan drives a fixed extent load through an aggregate of n
+// identical NVMe members (closed loop, 8 outstanding) and reports the
+// virtual completion time.
+func aggregateMakespan(t *testing.T, n int) sim.Time {
+	t.Helper()
+	eng := sim.NewEngine()
+	host := device.NewHost(eng, pcie.Gen3, 16)
+	members := make([]*swap.DeviceBackend, n)
+	for i := 0; i < n; i++ {
+		spec := device.SpecNVMeSSD("nvme" + string(rune('a'+i)))
+		members[i] = swap.NewDeviceBackend(eng, host.Attach(spec))
+	}
+	agg := swap.NewAggregateBackend(eng, "agg", members...)
+
+	const extents = 200
+	const window = 8
+	submitted, done := 0, 0
+	var next func()
+	next = func() {
+		if submitted >= extents {
+			return
+		}
+		i := submitted
+		submitted++
+		agg.Submit(swap.Extent{Pages: 64, Write: i%3 == 0, Sequential: i%2 == 0}, func(sim.Duration) {
+			done++
+			next()
+		})
+	}
+	for i := 0; i < window; i++ {
+		next()
+	}
+	eng.Run()
+	if done != extents {
+		t.Fatalf("aggregate of %d completed %d/%d extents", n, done, extents)
+	}
+	return eng.Now()
+}
+
+// TestAddingBackendNeverReducesBandwidth: growing an aggregate by one member
+// must not shrink its advertised bandwidth, and the same extent load must
+// not finish later. 1% slack absorbs striping discreteness (extent splits
+// change op counts, each op paying fixed channel overhead).
+func TestAddingBackendNeverReducesBandwidth(t *testing.T) {
+	withInvariants(t, func() {
+		prevBW := 0.0
+		var prevTime sim.Time
+		for n := 1; n <= 4; n++ {
+			eng := sim.NewEngine()
+			host := device.NewHost(eng, pcie.Gen3, 16)
+			members := make([]*swap.DeviceBackend, n)
+			for i := 0; i < n; i++ {
+				members[i] = swap.NewDeviceBackend(eng, host.Attach(device.SpecNVMeSSD("nvme"+string(rune('a'+i)))))
+			}
+			bw := float64(swap.NewAggregateBackend(eng, "agg", members...).Bandwidth())
+			if bw < prevBW {
+				t.Errorf("aggregate bandwidth shrank adding member %d: %.0f -> %.0f B/s", n, prevBW, bw)
+			}
+			prevBW = bw
+
+			elapsed := aggregateMakespan(t, n)
+			if prevTime > 0 && float64(elapsed) > float64(prevTime)*1.01 {
+				t.Errorf("adding member %d slowed the same load: %v -> %v", n, prevTime, elapsed)
+			}
+			prevTime = elapsed
+		}
+	})
+}
+
+// TestLowerLatencyNeverSlower: scaling a device's per-op latencies down must
+// never increase a single-threaded workload's completion time — the access
+// trajectory is timing-independent, so every fault can only complete sooner.
+func TestLowerLatencyNeverSlower(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	withInvariants(t, func() {
+		for trial := 0; trial < 3; trial++ {
+			spec := randSpec(r, 1)
+			seed := r.Int63n(1 << 30)
+			var prev sim.Duration
+			for _, f := range []int64{4, 2, 1} {
+				devSpec := device.SpecTestbedSSD("ssd")
+				devSpec.ReadLatency *= sim.Duration(f)
+				devSpec.WriteLatency *= sim.Duration(f)
+				devSpec.RandomPenalty *= sim.Duration(f)
+				_, stats := runStack(t, spec, devSpec, 0.4, seed)
+				if prev > 0 && stats.Runtime > prev {
+					t.Errorf("trial %d: latency factor %d finished in %v, slower than factor above (%v)",
+						trial, f, stats.Runtime, prev)
+				}
+				prev = stats.Runtime
+			}
+		}
+	})
+}
+
+// TestHigherLimitNeverMoreSwapTraffic: raising the cgroup limit (more local
+// memory) must never increase pages swapped in or out for a single-threaded
+// run at 1-page granularity — more residency can only avoid faults and
+// evictions, never create them.
+func TestHigherLimitNeverMoreSwapTraffic(t *testing.T) {
+	r := rand.New(rand.NewSource(424))
+	withInvariants(t, func() {
+		for trial := 0; trial < 3; trial++ {
+			spec := randSpec(r, 1)
+			seed := r.Int63n(1 << 30)
+			var prevIn, prevOut uint64
+			first := true
+			for _, ratio := range []float64{0.25, 0.5, 0.85} {
+				_, stats := runStack(t, spec, device.SpecTestbedSSD("ssd"), ratio, seed)
+				if !first && (stats.PagesIn > prevIn || stats.PagesOut > prevOut) {
+					t.Errorf("trial %d: ratio %.2f swapped in=%d out=%d, more than the smaller limit (in=%d out=%d)",
+						trial, ratio, stats.PagesIn, stats.PagesOut, prevIn, prevOut)
+				}
+				prevIn, prevOut = stats.PagesIn, stats.PagesOut
+				first = false
+			}
+		}
+	})
+}

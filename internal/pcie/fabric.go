@@ -4,9 +4,24 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/invariant"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
+
+// Registered invariants for the fluid-flow arbiter. Progressive filling must
+// never oversubscribe a link (allocated rate ≤ capacity) or push a capped
+// flow past its cap, and a link can never have carried more payload than its
+// high-water bandwidth × elapsed virtual time — the conservation law behind
+// every throughput figure.
+var (
+	ckLinkAlloc      = invariant.Register("pcie.link.no-oversubscription")
+	ckFlowCap        = invariant.Register("pcie.flow.rate-within-cap")
+	ckLinkThroughput = invariant.Register("pcie.link.throughput-bound")
+)
+
+// rateEpsilon absorbs float rounding in rate allocation checks.
+const rateEpsilon = 1e-6
 
 // Link is a capacity-constrained segment of the I/O path: a PCIe slot, the
 // host's root-complex budget, a device's internal bandwidth, or a network
@@ -14,6 +29,9 @@ import (
 type Link struct {
 	Name     string
 	capacity float64 // bytes/sec
+	// maxCapacity is the high-water capacity ever configured, the bound for
+	// the throughput invariant (capacity may be degraded mid-run).
+	maxCapacity float64
 
 	// bytesMoved accumulates payload carried, for utilization reporting.
 	bytesMoved float64
@@ -29,7 +47,12 @@ func (l *Link) Capacity() units.BytesPerSec { return units.BytesPerSec(l.capacit
 // SetCapacity changes the link bandwidth. Rates of in-flight flows are
 // re-shared on the next fabric event; callers that need the change to take
 // effect immediately should call Fabric.Rebalance.
-func (l *Link) SetCapacity(c units.BytesPerSec) { l.capacity = float64(c) }
+func (l *Link) SetCapacity(c units.BytesPerSec) {
+	l.capacity = float64(c)
+	if l.capacity > l.maxCapacity {
+		l.maxCapacity = l.capacity
+	}
+}
 
 // BytesMoved reports the payload bytes carried so far.
 func (l *Link) BytesMoved() float64 { return l.bytesMoved }
@@ -85,7 +108,7 @@ func (fb *Fabric) NewLink(name string, capacity units.BytesPerSec) *Link {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("pcie: link %q with non-positive capacity", name))
 	}
-	l := &Link{Name: name, capacity: float64(capacity)}
+	l := &Link{Name: name, capacity: float64(capacity), maxCapacity: float64(capacity)}
 	fb.links = append(fb.links, l)
 	return l
 }
@@ -143,6 +166,15 @@ func (fb *Fabric) advance() {
 		f.remaining -= moved
 		for _, l := range f.path {
 			l.bytesMoved += moved
+		}
+	}
+	if invariant.On {
+		secs := now.Seconds()
+		for _, l := range fb.links {
+			bound := l.maxCapacity*secs*(1+rateEpsilon) + completionEpsilon
+			ckLinkThroughput.Assert(l.bytesMoved <= bound,
+				"link %q moved %.0f bytes in %.6fs at max capacity %.0f B/s",
+				l.Name, l.bytesMoved, secs, l.maxCapacity)
 		}
 	}
 }
@@ -215,6 +247,17 @@ func (fb *Fabric) rebalance() {
 				fb.freeze(f, share)
 				unfrozen--
 			}
+		}
+	}
+	if invariant.On {
+		for _, l := range fb.links {
+			ckLinkAlloc.Assert(l.alloc <= l.capacity*(1+rateEpsilon)+rateEpsilon,
+				"link %q allocated %.0f B/s over capacity %.0f B/s", l.Name, l.alloc, l.capacity)
+		}
+		for _, f := range fb.flows {
+			ckFlowCap.Assert(f.rate >= 0 &&
+				(f.cap <= 0 || f.rate <= f.cap*(1+rateEpsilon)),
+				"flow rate %.0f B/s outside [0, cap %.0f B/s]", f.rate, f.cap)
 		}
 	}
 	fb.scheduleNext()

@@ -1,6 +1,19 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/invariant"
+)
+
+// Registered invariants for the event kernel. The virtual clock may only
+// move forward (a fired event's timestamp is never before the current time),
+// and the live-event count can never go negative — either failing means the
+// heap, the tombstone bookkeeping, or a caller's time arithmetic is corrupt.
+var (
+	ckClockMonotonic = invariant.Register("sim.clock.monotonic")
+	ckLiveEvents     = invariant.Register("sim.events.live-nonnegative")
+)
 
 // An event is a callback scheduled at a point in virtual time. Events at the
 // same instant fire in scheduling order (seq breaks ties), which keeps runs
@@ -205,6 +218,11 @@ func (e *Engine) Step() bool {
 	e.pop()
 	e.freeSlot(ev.slot)
 	e.live--
+	if invariant.On {
+		ckClockMonotonic.Assert(ev.at >= e.now,
+			"event at %v fires with clock already at %v", ev.at, e.now)
+		ckLiveEvents.Assert(e.live >= 0, "live event count %d", e.live)
+	}
 	e.now = ev.at
 	e.processed++
 	ev.fn()

@@ -1,5 +1,17 @@
 package sim
 
+import "repro/internal/invariant"
+
+// Registered invariants for counted resources: occupancy (units in use and
+// queued waiters) can never go negative, and a grant must never push usage
+// past capacity (Resize may shrink capacity below the units already held;
+// that overage is legal and drains, so the bound is only asserted on the
+// grant paths, not after Resize).
+var (
+	ckResOccupancy = invariant.Register("sim.resource.occupancy-nonnegative")
+	ckResBound     = invariant.Register("sim.resource.grant-within-capacity")
+)
+
 // Resource is a counted resource with a FIFO wait queue — the simulation
 // analogue of a semaphore. Device channels, CPU cores, and swap-channel slots
 // are all Resources. Acquisition is asynchronous: the callback fires (possibly
@@ -75,6 +87,10 @@ func (r *Resource) Acquire(units int, fn func()) {
 	}
 	if r.Waiting() == 0 && r.inUse+units <= r.capacity {
 		r.inUse += units
+		if invariant.On {
+			ckResBound.Assert(r.inUse <= r.capacity,
+				"in use %d exceeds capacity %d", r.inUse, r.capacity)
+		}
 		// Run via the event queue so callers observe consistent ordering
 		// whether or not the acquisition had to wait.
 		r.eng.Immediately(fn)
@@ -109,6 +125,10 @@ func (r *Resource) Release(units int) {
 		panic("sim: release exceeds units in use")
 	}
 	r.inUse -= units
+	if invariant.On {
+		ckResOccupancy.Assert(r.inUse >= 0 && r.Waiting() >= 0,
+			"in use %d, waiting %d", r.inUse, r.Waiting())
+	}
 	for r.Waiting() > 0 {
 		head := r.waiters[r.head]
 		if r.inUse+head.units > r.capacity {
@@ -116,6 +136,10 @@ func (r *Resource) Release(units int) {
 		}
 		r.inUse += head.units
 		r.popWaiter()
+		if invariant.On {
+			ckResBound.Assert(r.inUse <= r.capacity,
+				"in use %d exceeds capacity %d after admitting waiter", r.inUse, r.capacity)
+		}
 		r.eng.Immediately(head.fn)
 	}
 }

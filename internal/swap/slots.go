@@ -1,5 +1,22 @@
 package swap
 
+import (
+	"fmt"
+
+	"repro/internal/invariant"
+)
+
+// Registered invariants for the slot allocator: a slot recycled from the
+// free pool must be stale (no double-alloc handing one slot to two pages), a
+// released slot must map back to the page releasing it (no double-free, no
+// freeing another page's slot), and the live count can never go negative or
+// exceed the slot span. Audit() proves the full bijection.
+var (
+	ckSlotAlloc = invariant.Register("swap.slots.no-double-alloc")
+	ckSlotFree  = invariant.Register("swap.slots.no-double-free")
+	ckSlotLive  = invariant.Register("swap.slots.live-in-range")
+)
+
 // SlotAllocator manages a swap device's slot space the way the kernel's
 // swap_map does: slots are handed out in scan order (so write-back order
 // determines slot adjacency), freed slots are recycled lazily, and the
@@ -44,6 +61,10 @@ func (a *SlotAllocator) Assign(page int32) int32 {
 	if len(a.free) > 0 {
 		slot = a.free[len(a.free)-1]
 		a.free = a.free[:len(a.free)-1]
+		if invariant.On {
+			ckSlotAlloc.Assert(a.seq[slot] < 0,
+				"recycling slot %d still held by page %d", slot, a.seq[slot])
+		}
 		a.seq[slot] = page
 		a.recycled++
 	} else {
@@ -52,6 +73,10 @@ func (a *SlotAllocator) Assign(page int32) int32 {
 	}
 	a.slotOf[page] = slot
 	a.live++
+	if invariant.On {
+		ckSlotLive.Assert(a.live >= 0 && a.live <= len(a.seq),
+			"live %d outside [0, %d]", a.live, len(a.seq))
+	}
 	return slot
 }
 
@@ -62,10 +87,17 @@ func (a *SlotAllocator) Release(page int32) {
 	if slot < 0 {
 		return
 	}
+	if invariant.On {
+		ckSlotFree.Assert(a.seq[slot] == page,
+			"releasing slot %d mapped to page %d, not releaser %d", slot, a.seq[slot], page)
+	}
 	a.seq[slot] = -1
 	a.slotOf[page] = -1
 	a.free = append(a.free, slot)
 	a.live--
+	if invariant.On {
+		ckSlotLive.Assert(a.live >= 0, "live %d after release", a.live)
+	}
 }
 
 // DropAll reclaims every occupied slot exactly once — the backend-loss
@@ -85,7 +117,60 @@ func (a *SlotAllocator) DropAll() int {
 		a.live--
 		n++
 	}
+	if invariant.On {
+		ckSlotLive.Assert(a.live == 0, "live %d after DropAll", a.live)
+	}
 	return n
+}
+
+// Audit verifies the allocator's full structural state: seq and slotOf are a
+// mutual bijection over occupied slots, the live count matches a recount,
+// and the free pool holds each stale slot at most once with no occupied
+// slots in it. O(slots + pages); for tests and the metamorphic suite.
+func (a *SlotAllocator) Audit() error {
+	occupied := 0
+	for slot, page := range a.seq {
+		if page < 0 {
+			continue
+		}
+		occupied++
+		if int(page) >= len(a.slotOf) {
+			return fmt.Errorf("swap audit: slot %d holds out-of-range page %d", slot, page)
+		}
+		if a.slotOf[page] != int32(slot) {
+			return fmt.Errorf("swap audit: slot %d holds page %d, but slotOf[%d] = %d",
+				slot, page, page, a.slotOf[page])
+		}
+	}
+	for page, slot := range a.slotOf {
+		if slot < 0 {
+			continue
+		}
+		if int(slot) >= len(a.seq) {
+			return fmt.Errorf("swap audit: page %d maps to out-of-range slot %d", page, slot)
+		}
+		if a.seq[slot] != int32(page) {
+			return fmt.Errorf("swap audit: page %d maps to slot %d, but seq[%d] = %d",
+				page, slot, slot, a.seq[slot])
+		}
+	}
+	if occupied != a.live {
+		return fmt.Errorf("swap audit: live counter %d, recount %d", a.live, occupied)
+	}
+	inFree := make(map[int32]bool, len(a.free))
+	for _, slot := range a.free {
+		if slot < 0 || int(slot) >= len(a.seq) {
+			return fmt.Errorf("swap audit: free pool holds out-of-range slot %d", slot)
+		}
+		if inFree[slot] {
+			return fmt.Errorf("swap audit: slot %d freed twice", slot)
+		}
+		inFree[slot] = true
+		if a.seq[slot] >= 0 {
+			return fmt.Errorf("swap audit: occupied slot %d (page %d) in free pool", slot, a.seq[slot])
+		}
+	}
+	return nil
 }
 
 // SlotOf reports page's current slot, or -1.

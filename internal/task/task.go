@@ -9,11 +9,23 @@ package task
 import (
 	"fmt"
 
+	"repro/internal/invariant"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/swap"
 	"repro/internal/trace"
 	"repro/internal/workload"
+)
+
+// Registered invariants for the fault/reclaim path. The cgroup law: after
+// reclaim makes room and a fetch extent is installed, the resident count
+// never exceeds the cgroup limit. The conservation law: every page flagged
+// as having a current far copy owns exactly one live swap slot, so the
+// flagged count and the allocator's live count always agree — pages are
+// never duplicated or leaked between local memory and the swap device.
+var (
+	ckCgroupLimit = invariant.Register("task.cgroup.resident-within-limit")
+	ckFarCopies   = invariant.Register("task.far-copies.match-live-slots")
 )
 
 // Kernel cost constants for the fault and reclaim paths.
@@ -170,6 +182,9 @@ type Task struct {
 	// lost marks pages whose far copy died with a backend; their next
 	// fault pays RefetchPenalty on top of the zero-fill cost.
 	lost []bool
+	// farCopies counts pages with slotValid set, for the O(1) conservation
+	// check against the slot allocator's live count.
+	farCopies int
 
 	wbTokens *sim.Resource
 
@@ -296,8 +311,44 @@ func (t *Task) DropFarCopies() int {
 		}
 	}
 	t.slots.DropAll()
+	t.farCopies = 0
+	if invariant.On {
+		ckFarCopies.Assert(t.slots.Live() == 0,
+			"%d live slots after dropping all far copies", t.slots.Live())
+	}
 	t.stats.LostPages += uint64(n)
 	return n
+}
+
+// AuditConservation runs the O(n) structural audits over the task's memory
+// state: the LRU lists (mem.PageSet.Audit), the slot allocator bijection
+// (swap.SlotAllocator.Audit), and the cross-structure conservation laws —
+// far-copy flags match live slots one-to-one, and no page is simultaneously
+// resident and flagged lost. For tests and the metamorphic suite.
+func (t *Task) AuditConservation() error {
+	if err := t.ps.Audit(); err != nil {
+		return err
+	}
+	if err := t.slots.Audit(); err != nil {
+		return err
+	}
+	far := 0
+	for id, valid := range t.slotValid {
+		if !valid {
+			continue
+		}
+		far++
+		if t.lost[id] {
+			return fmt.Errorf("task audit: page %d both holds a far copy and is marked lost", id)
+		}
+	}
+	if far != t.farCopies {
+		return fmt.Errorf("task audit: farCopies counter %d, recount %d", t.farCopies, far)
+	}
+	if far != t.slots.Live() {
+		return fmt.Errorf("task audit: %d far copies but %d live slots", far, t.slots.Live())
+	}
+	return nil
 }
 
 // Stats reports the task's statistics so far.
@@ -401,6 +452,10 @@ func (t *Task) fault(w *worker, a workload.Access) {
 		}
 		t.reclaimFor(1)
 		t.makeResident(a.Page, false)
+		if invariant.On {
+			ckCgroupLimit.Assert(t.ps.Resident() <= t.cg.LimitPages,
+				"%d resident over limit %d after minor fault", t.ps.Resident(), t.cg.LimitPages)
+		}
 		t.stats.MinorFaults++
 		t.stats.SysTime += cost
 		t.eng.After(cost, func() {
@@ -460,6 +515,12 @@ func (t *Task) fault(w *worker, a workload.Access) {
 			t.ps.Page(id).Huge = true
 			t.stats.HugeBackedPages++
 		}
+	}
+	if invariant.On {
+		ckCgroupLimit.Assert(t.ps.Resident() <= t.cg.LimitPages ||
+			t.ps.Resident() <= len(fetch),
+			"%d resident over limit %d after installing %d-page extent",
+			t.ps.Resident(), t.cg.LimitPages, len(fetch))
 	}
 
 	faultStart := t.eng.Now()
@@ -570,7 +631,10 @@ func (t *Task) reclaimPages(n int) {
 		}
 		if anon {
 			if dirty {
-				t.slotValid[id] = true
+				if !t.slotValid[id] {
+					t.slotValid[id] = true
+					t.farCopies++
+				}
 				t.slots.Assign(id)
 				swapWB = append(swapWB, id)
 			}
@@ -578,6 +642,10 @@ func (t *Task) reclaimPages(n int) {
 		} else if dirty {
 			fileWB = append(fileWB, id)
 		}
+	}
+	if invariant.On {
+		ckFarCopies.Assert(t.farCopies == t.slots.Live(),
+			"%d pages flagged with far copies but %d live slots", t.farCopies, t.slots.Live())
 	}
 	t.writeback(t.cfg.SwapPath, swapWB)
 	t.writeback(t.cfg.FilePath, fileWB)

@@ -10,10 +10,16 @@ import (
 	"sort"
 
 	"repro/internal/device"
+	"repro/internal/invariant"
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/swap"
 )
+
+// Registered invariant for host resource accounting: cores and pages handed
+// to VMs stay within [0, capacity] across every create/destroy — a VM can
+// neither overdraw the host nor return resources it never held.
+var ckHostResources = invariant.Register("vm.host.resource-accounting")
 
 // Lifecycle cost model (Fig 18). The paper reports xDM's VM reboot is ~2.6×
 // faster than the host reboot traditional systems need, and that all warm
@@ -222,6 +228,10 @@ func (m *Machine) CreateVM(name string, cores, pages int, warmBackends []string,
 	}
 	m.usedCores += cores
 	m.usedPages += pages
+	if invariant.On {
+		ckHostResources.Assert(m.usedCores <= m.CPUCores && m.usedPages <= m.MemoryPages,
+			"allocated %d/%d cores, %d/%d pages", m.usedCores, m.CPUCores, m.usedPages, m.MemoryPages)
+	}
 	m.nextID++
 	v := &VM{
 		Name:    name,
@@ -266,6 +276,10 @@ func (m *Machine) Destroy(v *VM) {
 	}
 	m.usedCores -= v.Cores
 	m.usedPages -= v.Pages
+	if invariant.On {
+		ckHostResources.Assert(m.usedCores >= 0 && m.usedPages >= 0,
+			"freed below zero: %d cores, %d pages", m.usedCores, m.usedPages)
+	}
 }
 
 // State reports the VM's lifecycle state.
