@@ -9,11 +9,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/invariant"
+	"repro/internal/obs"
 )
+
+// perExpFile derives the per-experiment output file from a stem path:
+// "out/trace.json" + "fig2b" → "out/trace.fig2b.json".
+func perExpFile(stem, id string) string {
+	ext := filepath.Ext(stem)
+	return strings.TrimSuffix(stem, ext) + "." + id + ext
+}
 
 func main() {
 	var (
@@ -25,6 +35,10 @@ func main() {
 			"worker goroutines per experiment grid (output is identical for any count)")
 		invariants = flag.Bool("invariants", false,
 			"enable runtime invariant checks; per-check counts are reported on stderr")
+		traceOut = flag.String("trace", "",
+			"per-experiment Chrome trace-event JSON stem: t.json writes t.fig2b.json, t.tab6.json, ...")
+		metricsOut = flag.String("metrics", "",
+			"per-experiment metrics stem (CSV, or JSON when the path ends in .json)")
 	)
 	flag.Parse()
 
@@ -58,12 +72,20 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
+	observing := *traceOut != "" || *metricsOut != ""
+	if observing {
+		obs.Capture()
+	}
+
 	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
 	fmt.Fprintf(w, "xDM reproduction — full evaluation (scale=%d seed=%d)\n\n", *scale, *seed)
 	experiments.ResetGridCellTime()
 	wallStart := time.Now()
 	for _, id := range experiments.IDs() {
 		start := time.Now()
+		if observing {
+			obs.Reset() // each experiment gets its own files
+		}
 		tables, _ := experiments.Run(id, opts)
 		for _, tb := range tables {
 			switch *format {
@@ -73,6 +95,18 @@ func main() {
 				tb.RenderCSV(w)
 			default:
 				tb.Render(w)
+			}
+		}
+		if *traceOut != "" {
+			if err := obs.WriteTraceFile(perExpFile(*traceOut, id)); err != nil {
+				fmt.Fprintln(os.Stderr, "xdmbench:", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsOut != "" {
+			if err := obs.WriteMetricsFile(perExpFile(*metricsOut, id)); err != nil {
+				fmt.Fprintln(os.Stderr, "xdmbench:", err)
+				os.Exit(1)
 			}
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))

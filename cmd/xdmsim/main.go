@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/invariant"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -41,6 +42,10 @@ func main() {
 			"worker goroutines per experiment grid (output is identical for any count)")
 		invariants = flag.Bool("invariants", false,
 			"enable runtime invariant checks; per-check counts are reported on stderr")
+		traceOut = flag.String("trace", "",
+			"write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
+		metricsOut = flag.String("metrics", "",
+			"write counters/gauges/timelines (CSV, or JSON when the path ends in .json)")
 	)
 	flag.Parse()
 
@@ -66,6 +71,46 @@ func main() {
 		os.Exit(2)
 	}
 
+	observing := *traceOut != "" || *metricsOut != ""
+	if observing {
+		if *exp == "all" {
+			fmt.Fprintln(os.Stderr, "xdmsim: -trace/-metrics cannot be combined with -exp all (one output file per experiment; use xdmbench for the full sweep)")
+			fmt.Fprintln(os.Stderr, "usage: xdmsim -exp <id> [-trace t.json] [-metrics m.csv]; -list shows ids")
+			os.Exit(2)
+		}
+		// Probe writability upfront so a bad path fails before minutes of
+		// simulation, with a usage-style exit code.
+		for _, p := range []string{*traceOut, *metricsOut} {
+			if p == "" {
+				continue
+			}
+			f, err := os.Create(p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xdmsim:", err)
+				os.Exit(2)
+			}
+			f.Close()
+		}
+		obs.Capture()
+	}
+	writeObs := func() {
+		if !observing {
+			return
+		}
+		if *traceOut != "" {
+			if err := obs.WriteTraceFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "xdmsim:", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsOut != "" {
+			if err := obs.WriteMetricsFile(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "xdmsim:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -88,6 +133,7 @@ func main() {
 		for _, tb := range experiments.Custom(specs, opts) {
 			tb.Render(os.Stdout)
 		}
+		writeObs()
 		return
 	}
 	if *exp == "" {
@@ -108,4 +154,5 @@ func main() {
 	for _, tb := range tables {
 		tb.Render(os.Stdout)
 	}
+	writeObs()
 }

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -102,7 +104,10 @@ func TestXdmbenchCLI(t *testing.T) {
 	dir := t.TempDir()
 	bin := buildCmd(t, dir, "xdmbench")
 	outFile := filepath.Join(dir, "results.txt")
-	out, err := exec.Command(bin, "-o", outFile, "-scale", "16").CombinedOutput()
+	traceStem := filepath.Join(dir, "trace.json")
+	metricsStem := filepath.Join(dir, "metrics.csv")
+	out, err := exec.Command(bin, "-o", outFile, "-scale", "16",
+		"-trace", traceStem, "-metrics", metricsStem).CombinedOutput()
 	if err != nil {
 		t.Fatalf("xdmbench: %v\n%s", err, out)
 	}
@@ -110,6 +115,22 @@ func TestXdmbenchCLI(t *testing.T) {
 	for _, id := range []string{"tab6", "tab7", "fig14", "fig19-sim"} {
 		if !strings.Contains(data, id) {
 			t.Errorf("results missing %s", id)
+		}
+	}
+	// -trace/-metrics stems expand to one file per experiment:
+	// trace.json → trace.tab6.json, trace.fig14.json, ...
+	for _, id := range []string{"tab6", "fig14"} {
+		tracePath := filepath.Join(dir, "trace."+id+".json")
+		raw, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatalf("per-experiment trace missing: %v", err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Errorf("%s is not valid JSON: %v", tracePath, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "metrics."+id+".csv")); err != nil {
+			t.Errorf("per-experiment metrics missing: %v", err)
 		}
 	}
 }
@@ -220,6 +241,121 @@ func TestXdmsimFaultsExperiment(t *testing.T) {
 	// Reproducibility is a CLI-level contract: same seed, same bytes.
 	if second := run(); second != first {
 		t.Fatalf("same seed produced different faults output:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}
+
+// traceEvent is the subset of a Chrome trace event the CLI tests inspect.
+type traceEvent struct {
+	Ph  string  `json:"ph"`
+	Pid int     `json:"pid"`
+	Tid int     `json:"tid"`
+	Ts  float64 `json:"ts"`
+}
+
+func TestXdmsimObservabilityOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs an experiment")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "xdmsim")
+	tracePath := filepath.Join(dir, "out.json")
+	metricsPath := filepath.Join(dir, "out.csv")
+
+	run := func(workers string) (trace, metrics []byte) {
+		out, err := exec.Command(bin, "-exp", "fig2b", "-scale", "8",
+			"-workers", workers, "-trace", tracePath, "-metrics", metricsPath).CombinedOutput()
+		if err != nil {
+			t.Fatalf("xdmsim -trace/-metrics: %v\n%s", err, out)
+		}
+		trace, err = os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metrics, err = os.ReadFile(metricsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace, metrics
+	}
+
+	trace1, metrics1 := run("1")
+
+	var doc struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace1, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	// Within each (pid, tid) track, timestamps must be monotonically
+	// non-decreasing — the contract Perfetto relies on for rendering.
+	last := map[[2]int]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		key := [2]int{ev.Pid, ev.Tid}
+		if prev, ok := last[key]; ok && ev.Ts < prev {
+			t.Fatalf("track pid=%d tid=%d: ts %g after %g", ev.Pid, ev.Tid, ev.Ts, prev)
+		}
+		last[key] = ev.Ts
+	}
+	if !strings.HasPrefix(string(metrics1), "run,type,name,key,value\n") {
+		t.Errorf("metrics CSV header malformed: %q", strings.SplitN(string(metrics1), "\n", 2)[0])
+	}
+
+	// Byte-identical across reruns and across worker counts.
+	trace2, metrics2 := run("1")
+	if !bytes.Equal(trace1, trace2) || !bytes.Equal(metrics1, metrics2) {
+		t.Error("outputs differ between identical reruns")
+	}
+	trace8, metrics8 := run("8")
+	if !bytes.Equal(trace1, trace8) {
+		t.Error("trace differs between -workers=1 and -workers=8")
+	}
+	if !bytes.Equal(metrics1, metrics8) {
+		t.Error("metrics differ between -workers=1 and -workers=8")
+	}
+}
+
+func TestXdmsimObservabilityFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "xdmsim")
+	cases := []struct {
+		name    string
+		args    []string
+		wantMsg string
+	}{
+		{"trace with -exp all", []string{"-exp", "all", "-trace", filepath.Join(dir, "t.json")},
+			"cannot be combined with -exp all"},
+		{"metrics with -exp all", []string{"-exp", "all", "-metrics", filepath.Join(dir, "m.csv")},
+			"cannot be combined with -exp all"},
+		{"unwritable trace path", []string{"-exp", "fig3", "-trace", filepath.Join(dir, "no-such-dir", "t.json")},
+			"no-such-dir"},
+		{"unwritable metrics path", []string{"-exp", "fig3", "-metrics", filepath.Join(dir, "no-such-dir", "m.csv")},
+			"no-such-dir"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cmd := exec.Command(bin, c.args...)
+			var stderr strings.Builder
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 2 {
+				t.Fatalf("%v exited %v, want exit code 2", c.args, err)
+			}
+			if !strings.Contains(stderr.String(), c.wantMsg) {
+				t.Errorf("stderr missing %q:\n%s", c.wantMsg, stderr.String())
+			}
+		})
 	}
 }
 

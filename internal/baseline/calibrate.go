@@ -105,7 +105,7 @@ func CalibratedBaselineRatio(sys System, backendSpec device.Spec, spec workload.
 	}
 	calibMu.Unlock()
 	best := calibScan(slo, func(ratio float64) int64 {
-		eng := sim.NewEngine()
+		eng := sim.NewUnobservedEngine()
 		m := vm.NewMachine(eng, pcie.Gen4, 16, 32, 64*workload.PagesPerGiB)
 		bs := backendSpec
 		bs.Name = "calib-backend"
@@ -124,9 +124,12 @@ func CalibratedBaselineRatio(sys System, backendSpec device.Spec, spec workload.
 	return best
 }
 
-// calibRun executes one staging run and returns the runtime.
+// calibRun executes one staging run and returns the runtime. Staging runs
+// are offline preparation, not part of the simulated scenario, so they use
+// unobserved engines: with memoization their number varies with cache
+// warmth and worker interleaving, which would otherwise leak into traces.
 func calibRun(backendSpec device.Spec, spec workload.Spec, ratio float64, seed int64) (runtime int64) {
-	eng := sim.NewEngine()
+	eng := sim.NewUnobservedEngine()
 	m := vm.NewMachine(eng, pcie.Gen4, 16, 32, 64*workload.PagesPerGiB)
 	bs := backendSpec
 	bs.Name = "calib-backend"

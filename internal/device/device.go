@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/invariant"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -158,6 +159,11 @@ type Device struct {
 	BytesRead float64
 	BytesWrit float64
 	Latency   metrics.Summary // per-op end-to-end latency, µs
+
+	// Observability handle, resolved once at construction (nil when off).
+	rec      *obs.Recorder
+	track    string
+	obsQueue *metrics.BucketTimeline
 }
 
 // New attaches a device with the given spec to a fabric. extraLinks (such as
@@ -183,6 +189,22 @@ func New(eng *sim.Engine, fabric *pcie.Fabric, spec Spec, extraLinks ...*pcie.Li
 	d.WriteOps.Name = spec.Name + ".writes"
 	d.Failed.Name = spec.Name + ".failed"
 	d.Dropped.Name = spec.Name + ".dropped"
+	if obs.On {
+		if r := obs.Rec(eng); r != nil {
+			d.rec = r
+			d.track = "dev/" + spec.Name
+			d.obsQueue = r.Timeline(d.track+"/queue", obs.DefaultTimelineWidth, obs.ModeMean)
+			r.OnSeal(func() {
+				now := eng.Now()
+				r.Gauge(d.track + "/utilization/media").Set(d.internal.Utilization(now))
+				r.Gauge(d.track + "/utilization/slot").Set(d.slot.Utilization(now))
+				r.Counter(d.track + "/ops").Add(float64(d.Ops.Value))
+				r.Counter(d.track + "/failed").Add(float64(d.Failed.Value))
+				r.Counter(d.track + "/dropped").Add(float64(d.Dropped.Value))
+				r.Counter(d.track + "/bytes").Add(d.TotalBytes())
+			})
+		}
+	}
 	return d
 }
 
@@ -220,7 +242,13 @@ func (d *Device) MediaLink() *pcie.Link { return d.internal }
 
 // Fail kills the device permanently: every subsequent op completes fast
 // with ErrDown. Data held on the device is considered lost.
-func (d *Device) Fail() { d.down = true; d.stalled = false }
+func (d *Device) Fail() {
+	d.down = true
+	d.stalled = false
+	if d.rec != nil {
+		d.rec.Instant(d.track, "fail", "")
+	}
+}
 
 // Stall starts a transient outage: ops are silently dropped until Recover.
 // Only the initiator's timeout notices — this models RDMA link flaps and
@@ -228,6 +256,9 @@ func (d *Device) Fail() { d.down = true; d.stalled = false }
 func (d *Device) Stall() {
 	if !d.down {
 		d.stalled = true
+		if d.rec != nil {
+			d.rec.Instant(d.track, "stall", "")
+		}
 	}
 }
 
@@ -247,6 +278,9 @@ func (d *Device) Degrade(lat, bw float64) {
 	d.latFactor = lat
 	d.internal.SetCapacity(units.BytesPerSec(float64(d.spec.Bandwidth) * bw))
 	d.fabric.Rebalance()
+	if d.rec != nil {
+		d.rec.Instant(d.track, "degrade", fmt.Sprintf("lat=%g bw=%g", lat, bw))
+	}
 }
 
 // Recover restores full health after a Stall or Degrade. A Failed device
@@ -259,6 +293,9 @@ func (d *Device) Recover() {
 	d.latFactor = 1
 	d.internal.SetCapacity(d.spec.Bandwidth)
 	d.fabric.Rebalance()
+	if d.rec != nil {
+		d.rec.Instant(d.track, "recover", "")
+	}
 }
 
 // Down reports whether the device has failed permanently.
@@ -297,6 +334,9 @@ func (d *Device) SubmitResult(op Op, done func(lat sim.Duration, err error)) {
 	}
 	if d.stalled {
 		d.Dropped.Inc()
+		if d.rec != nil {
+			d.rec.Instant(d.track, "drop-stalled", "")
+		}
 		return
 	}
 	if d.down {
@@ -304,6 +344,9 @@ func (d *Device) SubmitResult(op Op, done func(lat sim.Duration, err error)) {
 		return
 	}
 	start := d.eng.Now()
+	if d.obsQueue != nil {
+		d.obsQueue.Add(start, float64(d.QueueDepth()))
+	}
 	ch := d.readCh
 	if op.Write {
 		ch = d.writeCh
@@ -354,6 +397,13 @@ func (d *Device) SubmitResult(op Op, done func(lat sim.Duration, err error)) {
 						d.spec.Name, d.TotalBytes(), secs, float64(d.spec.Bandwidth))
 				}
 				d.Latency.Add(lat.Microseconds())
+				if d.rec != nil {
+					name := "read"
+					if op.Write {
+						name = "write"
+					}
+					d.rec.Span(d.track, name, start, "")
+				}
 				if done != nil {
 					done(lat, nil)
 				}
@@ -364,6 +414,9 @@ func (d *Device) SubmitResult(op Op, done func(lat sim.Duration, err error)) {
 
 func (d *Device) failFast(done func(lat sim.Duration, err error)) {
 	d.Failed.Inc()
+	if d.rec != nil {
+		d.rec.Instant(d.track, "err-down", "")
+	}
 	if done != nil {
 		d.eng.After(FailFastLatency, func() { done(FailFastLatency, ErrDown) })
 	}

@@ -5,7 +5,8 @@
 // schedules are generated from a seed and driven entirely by the virtual
 // clock, so every failure scenario replays byte-identically.
 //
-// The package deliberately depends only on internal/sim: anything that can
+// The package deliberately depends only on internal/sim (plus the
+// observability layer, which itself sits directly on sim): anything that can
 // fail implements the small Target interface (internal/device.Device does),
 // and anything that watches backend health feeds a Monitor (internal/swap
 // paths do). That keeps the dependency graph acyclic — device, swap, and
@@ -17,6 +18,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -166,15 +168,22 @@ type Injector struct {
 	Injected []Event
 	// OnFault, when set, observes each applied event (telemetry hook).
 	OnFault func(Event)
+
+	// Observability handle, resolved once at construction (nil when off).
+	rec *obs.Recorder
 }
 
 // NewInjector creates an injector bound to eng.
 func NewInjector(eng *sim.Engine) *Injector {
-	return &Injector{
+	in := &Injector{
 		eng:     eng,
 		targets: make(map[string]Target),
 		crashed: make(map[string]bool),
 	}
+	if obs.On {
+		in.rec = obs.Rec(eng)
+	}
+	return in
 }
 
 // Register makes t eligible as a fault target under t.Name().
@@ -223,6 +232,13 @@ func (in *Injector) fire(t Target, ev Event) {
 		}
 	}
 	in.Injected = append(in.Injected, ev)
+	if in.rec != nil {
+		detail := ev.Target
+		if ev.Kind != Crash {
+			detail = fmt.Sprintf("%s dur=%v", ev.Target, ev.Duration)
+		}
+		in.rec.Instant("faults", ev.Kind.String(), detail)
+	}
 	if in.OnFault != nil {
 		in.OnFault(ev)
 	}
@@ -231,6 +247,9 @@ func (in *Injector) fire(t Target, ev Event) {
 func (in *Injector) recover(t Target, name string) {
 	if in.crashed[name] {
 		return
+	}
+	if in.rec != nil {
+		in.rec.Instant("faults", "recover", name)
 	}
 	t.Recover()
 }

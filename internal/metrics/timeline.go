@@ -103,6 +103,132 @@ func Sparkline(samples []float64, width int) string {
 	return b.String()
 }
 
+// DefaultMaxBuckets bounds a BucketTimeline's resolution: when a sample
+// lands past the last representable bucket, the timeline coarsens (pairs of
+// buckets merge, the bucket width doubles) until it fits. 512 buckets keep a
+// full timeline around 4 KiB while still resolving run phases.
+const DefaultMaxBuckets = 512
+
+// BucketTimeline accumulates (time, value) samples into fixed-width
+// virtual-time buckets. Unlike Timeline, which actively schedules probe
+// events on an engine, a BucketTimeline is passive: call sites push samples
+// whenever something interesting happens (a queue depth at submit, a link
+// utilization at rebalance), in any time order — out-of-order adds land in
+// the right bucket because indexing is by absolute time, not arrival.
+//
+// The bucket array grows on demand up to a maximum; beyond that the timeline
+// coarsens itself by merging bucket pairs and doubling the width, so a run of
+// any virtual length fits in bounded memory with deterministic contents.
+type BucketTimeline struct {
+	width      sim.Duration
+	maxBuckets int
+	sum        []float64
+	cnt        []uint64
+}
+
+// NewBucketTimeline creates a timeline with the given initial bucket width.
+func NewBucketTimeline(width sim.Duration) *BucketTimeline {
+	if width <= 0 {
+		panic("metrics: bucket timeline width must be positive")
+	}
+	return &BucketTimeline{width: width, maxBuckets: DefaultMaxBuckets}
+}
+
+// SetMaxBuckets adjusts the coarsening threshold (minimum 2). Samples already
+// recorded keep their buckets until the next coarsening.
+func (b *BucketTimeline) SetMaxBuckets(n int) {
+	if n < 2 {
+		n = 2
+	}
+	b.maxBuckets = n
+}
+
+// Add records value v at virtual time at. Negative times panic: the virtual
+// clock starts at zero, so a negative sample is caller time arithmetic gone
+// wrong.
+func (b *BucketTimeline) Add(at sim.Time, v float64) {
+	if at < 0 {
+		panic("metrics: bucket timeline sample before time zero")
+	}
+	i := int(at / sim.Time(b.width))
+	for i >= b.maxBuckets {
+		b.coarsen()
+		i = int(at / sim.Time(b.width))
+	}
+	for len(b.sum) <= i {
+		b.sum = append(b.sum, 0)
+		b.cnt = append(b.cnt, 0)
+	}
+	b.sum[i] += v
+	b.cnt[i]++
+}
+
+// coarsen merges bucket pairs and doubles the width.
+func (b *BucketTimeline) coarsen() {
+	n := (len(b.sum) + 1) / 2
+	for i := 0; i < n; i++ {
+		s, c := b.sum[2*i], b.cnt[2*i]
+		if 2*i+1 < len(b.sum) {
+			s += b.sum[2*i+1]
+			c += b.cnt[2*i+1]
+		}
+		b.sum[i], b.cnt[i] = s, c
+	}
+	b.sum = b.sum[:n]
+	b.cnt = b.cnt[:n]
+	b.width *= 2
+}
+
+// Width reports the current bucket width (grows by doubling under coarsening).
+func (b *BucketTimeline) Width() sim.Duration { return b.width }
+
+// Len reports how many buckets are populated-or-before: the index of the
+// last touched bucket plus one. An empty timeline has length 0.
+func (b *BucketTimeline) Len() int { return len(b.sum) }
+
+// Count reports how many samples landed in bucket i.
+func (b *BucketTimeline) Count(i int) uint64 {
+	if i < 0 || i >= len(b.cnt) {
+		return 0
+	}
+	return b.cnt[i]
+}
+
+// Sum reports the sample sum of bucket i (for rate-style timelines where
+// each sample is an increment).
+func (b *BucketTimeline) Sum(i int) float64 {
+	if i < 0 || i >= len(b.sum) {
+		return 0
+	}
+	return b.sum[i]
+}
+
+// Mean reports the sample mean of bucket i, or 0 for an empty bucket.
+func (b *BucketTimeline) Mean(i int) float64 {
+	if i < 0 || i >= len(b.sum) || b.cnt[i] == 0 {
+		return 0
+	}
+	return b.sum[i] / float64(b.cnt[i])
+}
+
+// Means exports every bucket's mean (empty buckets as 0). Empty timelines
+// export nil.
+func (b *BucketTimeline) Means() []float64 {
+	if len(b.sum) == 0 {
+		return nil
+	}
+	out := make([]float64, len(b.sum))
+	for i := range out {
+		out[i] = b.Mean(i)
+	}
+	return out
+}
+
+// Spark renders the bucket means as a sparkline of at most width characters.
+func (b *BucketTimeline) Spark(width int) string {
+	return Sparkline(b.Means(), width)
+}
+
 // Delta converts a monotonically increasing counter series into per-sample
 // increments (for turning cumulative counts into rates).
 func Delta(samples []float64) []float64 {

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Deterministic export ordering. Recorders register from experiment worker
+// goroutines, so insertion order varies run to run and with -workers. Each
+// recorder's own content, however, is fully deterministic: its engine runs
+// single-threaded and the grid always executes the same cells. So we order
+// runs by a canonical signature — the recorder's own serialized bytes,
+// rendered with a placeholder run id of 0 — and then assign final run ids
+// (trace pids) by sorted position. Two recorders can only tie if their
+// contents are byte-identical, in which case either order yields the same
+// file. The result: exports are byte-identical across reruns at any worker
+// count.
+
+// orderedRecorders seals every recorder and returns them in canonical order.
+func orderedRecorders() []*Recorder {
+	recs := snapshot()
+	sigs := make([]string, len(recs))
+	for i, r := range recs {
+		r.Seal()
+		var tb, mb bytes.Buffer
+		r.writeTraceChunk(&tb, 0)
+		r.writeMetricsCSVChunk(&mb, 0)
+		sigs[i] = tb.String() + "\x00" + mb.String()
+	}
+	sort.SliceStable(recs, func(a, b int) bool { return sigs[a] < sigs[b] })
+	sort.Strings(sigs)
+	return recs
+}
+
+func sortedCounterNames(r *Recorder) []string {
+	out := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedGaugeNames(r *Recorder) []string {
+	out := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedTimelineNames(r *Recorder) []string {
+	out := make([]string, 0, len(r.timelines))
+	for name := range r.timelines {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fmtFloat renders v in the shortest round-trip form ('g', like %v).
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// csvField strips CSV/record structure characters from free-form text
+// (labels); registered metric names are expected to avoid them by
+// construction.
+func csvField(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ',', '\n', '\r', '"':
+			return ';'
+		}
+		return r
+	}, s)
+}
+
+// WriteMetricsCSV writes every captured recorder's counters, gauges, and
+// timelines as CSV with columns run,type,name,key,value. Timeline rows carry
+// the bucket index in key (plus one width_ns row); scalar rows leave key
+// empty. Ordering is canonical (see orderedRecorders).
+func WriteMetricsCSV(w io.Writer) error {
+	recs := orderedRecorders()
+	var buf bytes.Buffer
+	buf.WriteString("run,type,name,key,value\n")
+	for run, r := range recs {
+		r.writeMetricsCSVChunk(&buf, run)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// writeMetricsCSVChunk renders one recorder's rows. Like writeTraceChunk it
+// is a pure function of content and run id, so it doubles as the metrics
+// half of the canonical ordering signature.
+func (r *Recorder) writeMetricsCSVChunk(buf *bytes.Buffer, run int) {
+	if r.label != "" {
+		fmt.Fprintf(buf, "%d,label,%s,,\n", run, csvField(r.label))
+	}
+	fmt.Fprintf(buf, "%d,recorder,events,,%d\n", run, len(r.events))
+	fmt.Fprintf(buf, "%d,recorder,dropped,,%d\n", run, r.dropped)
+	for _, name := range sortedCounterNames(r) {
+		fmt.Fprintf(buf, "%d,counter,%s,,%s\n", run, name, fmtFloat(r.counters[name].Value))
+	}
+	for _, name := range sortedGaugeNames(r) {
+		fmt.Fprintf(buf, "%d,gauge,%s,,%s\n", run, name, fmtFloat(r.gauges[name].Value))
+	}
+	for _, name := range sortedTimelineNames(r) {
+		e := r.timelines[name]
+		fmt.Fprintf(buf, "%d,timeline,%s,width_ns,%d\n", run, name, int64(e.tl.Width()))
+		for i := 0; i < e.tl.Len(); i++ {
+			if e.tl.Count(i) == 0 {
+				continue
+			}
+			v := e.tl.Mean(i)
+			if e.mode == ModeSum {
+				v = e.tl.Sum(i)
+			}
+			fmt.Fprintf(buf, "%d,timeline,%s,%d,%s\n", run, name, i, fmtFloat(v))
+		}
+	}
+}
+
+// WriteMetricsJSON writes the same data as WriteMetricsCSV as one JSON
+// object, hand-rendered so key order (and therefore the bytes) is fixed.
+func WriteMetricsJSON(w io.Writer) error {
+	recs := orderedRecorders()
+	var buf bytes.Buffer
+	buf.WriteString(`{"runs":[`)
+	for run, r := range recs {
+		if run > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, `{"run":%d,"label":%s,"events":%d,"dropped":%d`,
+			run, jsonString(r.label), len(r.events), r.dropped)
+		buf.WriteString(`,"counters":{`)
+		for i, name := range sortedCounterNames(r) {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(&buf, `%s:%s`, jsonString(name), fmtFloat(r.counters[name].Value))
+		}
+		buf.WriteString(`},"gauges":{`)
+		for i, name := range sortedGaugeNames(r) {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(&buf, `%s:%s`, jsonString(name), fmtFloat(r.gauges[name].Value))
+		}
+		buf.WriteString(`},"timelines":[`)
+		for i, name := range sortedTimelineNames(r) {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			e := r.timelines[name]
+			mode := "mean"
+			if e.mode == ModeSum {
+				mode = "sum"
+			}
+			fmt.Fprintf(&buf, `{"name":%s,"mode":%q,"width_ns":%d,"buckets":[`,
+				jsonString(name), mode, int64(e.tl.Width()))
+			wrote := false
+			for b := 0; b < e.tl.Len(); b++ {
+				if e.tl.Count(b) == 0 {
+					continue
+				}
+				if wrote {
+					buf.WriteByte(',')
+				}
+				wrote = true
+				v := e.tl.Mean(b)
+				if e.mode == ModeSum {
+					v = e.tl.Sum(b)
+				}
+				fmt.Fprintf(&buf, `{"i":%d,"v":%s}`, b, fmtFloat(v))
+			}
+			buf.WriteString(`]}`)
+		}
+		buf.WriteString(`]}`)
+	}
+	buf.WriteString("]}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// WriteMetricsFile writes metrics to path: JSON when the path ends in
+// .json, CSV otherwise.
+func WriteMetricsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	write := WriteMetricsCSV
+	if strings.HasSuffix(path, ".json") {
+		write = WriteMetricsJSON
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

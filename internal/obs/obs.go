@@ -1,0 +1,287 @@
+// Package obs is the simulation's observability layer: virtual-time spans
+// and instant events (exportable as Chrome trace-event JSON for Perfetto /
+// chrome://tracing), bucketed utilization and queue-depth timelines, and a
+// named counter/gauge registry with CSV and JSON export.
+//
+// Like internal/invariant, the layer is built so that a fully instrumented
+// simulation costs nearly nothing when observation is off. Every recording
+// call site is guarded by a handle that instrumented components resolve once
+// at construction time:
+//
+//	var rec *obs.Recorder
+//	if obs.On {
+//		rec = obs.Rec(eng)
+//	}
+//	...
+//	if d.rec != nil { // hot path: a nil check, nothing else
+//		d.rec.Span("dev/ssd0", "read", start, "")
+//	}
+//
+// With On false (the default) the handle is nil and the hot path pays one
+// predictable branch — the same contract the invariant layer proved keeps
+// the event kernel within benchmark noise.
+//
+// Recorders are keyed by engine: each simulation run owns one engine, runs
+// single-threaded, and therefore appends to its recorder without locks. The
+// export layer merges all recorders into one deterministic artifact — see
+// export.go for how ordering stays byte-identical at any worker count.
+package obs
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// On gates every recording call site. Like invariant.On it is a plain bool:
+// flip it at setup time (Enable/Capture), before simulations start, never
+// mid-run from another goroutine.
+var On bool
+
+// Enable turns recording on. Components constructed afterwards on attached
+// engines will record; already-constructed components keep their nil handles.
+func Enable() { On = true }
+
+// Disable turns recording off for components constructed afterwards.
+func Disable() { On = false }
+
+// DefaultTimelineWidth is the initial bucket width for auto-created
+// timelines. Buckets self-coarsen, so the width only sets the finest
+// resolution for short runs.
+const DefaultTimelineWidth = sim.Millisecond
+
+// MaxEventsPerRecorder caps the span/instant buffer of one recorder so a
+// heavy run cannot grow a trace without bound. Events past the cap are
+// counted in Dropped and reported in the metrics export.
+const MaxEventsPerRecorder = 65536
+
+var (
+	regMu     sync.Mutex
+	recorders = map[*sim.Engine]*Recorder{}
+	order     []*Recorder // insertion order; nondeterministic under -workers
+)
+
+// Capture enables recording and attaches a Recorder to every engine created
+// from now on (via the sim new-engine hook). The returned restore func
+// detaches the hook and disables recording; collected data stays available
+// for export until Reset.
+func Capture() (restore func()) {
+	Enable()
+	undo := sim.SetNewEngineHook(func(e *sim.Engine) { Attach(e) })
+	return func() {
+		undo()
+		Disable()
+	}
+}
+
+// Attach creates (or returns) the Recorder for eng and registers the
+// engine's step hook so event dispatch shows up as a rate timeline.
+func Attach(eng *sim.Engine) *Recorder {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if r, ok := recorders[eng]; ok {
+		return r
+	}
+	r := &Recorder{
+		eng:       eng,
+		counters:  map[string]*Counter{},
+		gauges:    map[string]*Gauge{},
+		timelines: map[string]*timelineEntry{},
+	}
+	recorders[eng] = r
+	order = append(order, r)
+	events := r.Timeline("sim/events", DefaultTimelineWidth, ModeSum)
+	eng.SetStepHook(func(at sim.Time) { events.Add(at, 1) })
+	return r
+}
+
+// Rec returns the Recorder attached to eng, or nil if the engine is not
+// observed. Components call it once at construction time, guarded by On,
+// and cache the result.
+func Rec(eng *sim.Engine) *Recorder {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return recorders[eng]
+}
+
+// Reset discards every recorder. Call between independent capture sessions
+// (e.g. between experiments when each gets its own trace file).
+func Reset() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	recorders = map[*sim.Engine]*Recorder{}
+	order = nil
+}
+
+// snapshot returns the registered recorders in insertion order. The caller
+// must not rely on that order for output — see orderedRecorders.
+func snapshot() []*Recorder {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]*Recorder, len(order))
+	copy(out, order)
+	return out
+}
+
+// Kind distinguishes trace event flavours; values match the Chrome
+// trace-event "ph" phase letters they export as.
+type Kind byte
+
+const (
+	// KindSpan is a complete duration slice ("X"): a swap-in, a device op.
+	KindSpan Kind = 'X'
+	// KindInstant is a point event ("i"): a fault injection, a retry.
+	KindInstant Kind = 'i'
+)
+
+// Event is one recorded span or instant on a named track.
+type Event struct {
+	Track  string
+	Name   string
+	Kind   Kind
+	Ts     sim.Time
+	Dur    sim.Duration
+	Detail string // free-form, shown in the trace viewer's args pane
+}
+
+// TimelineMode selects how a timeline bucket exports: the mean of its
+// samples (level-style series such as queue depth or utilization) or their
+// sum (rate-style series such as events or pages per bucket).
+type TimelineMode int
+
+const (
+	ModeMean TimelineMode = iota
+	ModeSum
+)
+
+type timelineEntry struct {
+	name string
+	mode TimelineMode
+	tl   *metrics.BucketTimeline
+}
+
+// Counter is a named cumulative value owned by one recorder. Not atomic:
+// recorders belong to single-threaded engines.
+type Counter struct {
+	Name  string
+	Value float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Value++ }
+
+// Add accumulates v.
+func (c *Counter) Add(v float64) { c.Value += v }
+
+// Gauge is a named point-in-time value, typically set once at Seal.
+type Gauge struct {
+	Name  string
+	Value float64
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) { g.Value = v }
+
+// Recorder collects observability data for one engine. All methods except
+// those documented otherwise must be called from the engine's goroutine.
+type Recorder struct {
+	eng       *sim.Engine
+	label     string
+	events    []Event
+	dropped   uint64
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	timelines map[string]*timelineEntry
+	sealFns   []func()
+	sealed    bool
+}
+
+// Engine returns the engine this recorder observes.
+func (r *Recorder) Engine() *sim.Engine { return r.eng }
+
+// SetLabel names the run in exports (the trace process name). Unlabelled
+// runs export as "run<N>" in canonical order.
+func (r *Recorder) SetLabel(label string) { r.label = label }
+
+// Now is the recorder's virtual clock — shorthand for span start stamps.
+func (r *Recorder) Now() sim.Time { return r.eng.Now() }
+
+// Span records a completed slice on track from start to the current virtual
+// time. Call it when the operation finishes; a start after now panics
+// because it means the caller's clock arithmetic is wrong.
+func (r *Recorder) Span(track, name string, start sim.Time, detail string) {
+	now := r.eng.Now()
+	if start > now {
+		panic(fmt.Sprintf("obs: span %s/%s starts at %v after now %v", track, name, start, now))
+	}
+	r.record(Event{Track: track, Name: name, Kind: KindSpan, Ts: start, Dur: now.Sub(start), Detail: detail})
+}
+
+// Instant records a point event on track at the current virtual time.
+func (r *Recorder) Instant(track, name, detail string) {
+	r.record(Event{Track: track, Name: name, Kind: KindInstant, Ts: r.eng.Now(), Detail: detail})
+}
+
+func (r *Recorder) record(ev Event) {
+	if len(r.events) >= MaxEventsPerRecorder {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Dropped reports how many events the per-recorder cap discarded.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Events returns the recorded spans and instants in recording order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Counter returns (creating on first use) the named counter.
+func (r *Recorder) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{Name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{Name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Timeline returns (creating on first use) the named bucketed timeline.
+// The width and mode of an existing timeline are left unchanged.
+func (r *Recorder) Timeline(name string, width sim.Duration, mode TimelineMode) *metrics.BucketTimeline {
+	if e, ok := r.timelines[name]; ok {
+		return e.tl
+	}
+	e := &timelineEntry{name: name, mode: mode, tl: metrics.NewBucketTimeline(width)}
+	r.timelines[name] = e
+	return e.tl
+}
+
+// OnSeal registers fn to run once when the recorder seals — the place to
+// capture end-of-run gauges (utilizations, final stats) that are cheap to
+// read once but too hot to track continuously.
+func (r *Recorder) OnSeal(fn func()) { r.sealFns = append(r.sealFns, fn) }
+
+// Seal runs the registered seal hooks once. Export seals every recorder
+// automatically; sealing twice is a no-op.
+func (r *Recorder) Seal() {
+	if r.sealed {
+		return
+	}
+	r.sealed = true
+	for _, fn := range r.sealFns {
+		fn()
+	}
+}

@@ -1,0 +1,348 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// withCapture runs fn with recording enabled and a clean registry, restoring
+// global state afterwards. obs tests run sequentially (package-level state).
+func withCapture(t *testing.T, fn func()) {
+	t.Helper()
+	obs.Reset()
+	restore := obs.Capture()
+	defer func() {
+		restore()
+		obs.Reset()
+	}()
+	fn()
+}
+
+func TestCaptureAttachesNewEngines(t *testing.T) {
+	withCapture(t, func() {
+		eng := sim.NewEngine()
+		if obs.Rec(eng) == nil {
+			t.Fatalf("engine created under Capture has no recorder")
+		}
+		un := sim.NewUnobservedEngine()
+		if obs.Rec(un) != nil {
+			t.Fatalf("NewUnobservedEngine must bypass the capture hook")
+		}
+	})
+	eng := sim.NewEngine()
+	if obs.Rec(eng) != nil {
+		t.Fatalf("engine created after restore still observed")
+	}
+}
+
+func TestRecorderSpanAndInstant(t *testing.T) {
+	withCapture(t, func() {
+		eng := sim.NewEngine()
+		r := obs.Rec(eng)
+		eng.After(5*sim.Millisecond, func() {
+			start := r.Now()
+			eng.After(2*sim.Millisecond, func() {
+				r.Span("dev/x", "read", start, "4KiB")
+				r.Instant("faults", "flap", "dev/x")
+			})
+		})
+		eng.Run()
+
+		evs := r.Events()
+		if len(evs) != 2 {
+			t.Fatalf("got %d events, want 2", len(evs))
+		}
+		sp := evs[0]
+		if sp.Kind != obs.KindSpan || sp.Track != "dev/x" || sp.Name != "read" {
+			t.Errorf("span = %+v", sp)
+		}
+		if sp.Ts != sim.Time(5*sim.Millisecond) || sp.Dur != 2*sim.Millisecond {
+			t.Errorf("span timing ts=%v dur=%v", sp.Ts, sp.Dur)
+		}
+		if in := evs[1]; in.Kind != obs.KindInstant || in.Ts != sim.Time(7*sim.Millisecond) {
+			t.Errorf("instant = %+v", in)
+		}
+	})
+}
+
+func TestRecorderEventCap(t *testing.T) {
+	withCapture(t, func() {
+		eng := sim.NewEngine()
+		r := obs.Rec(eng)
+		for i := 0; i < obs.MaxEventsPerRecorder+10; i++ {
+			r.Instant("t", "e", "")
+		}
+		if len(r.Events()) != obs.MaxEventsPerRecorder {
+			t.Errorf("events %d, want cap %d", len(r.Events()), obs.MaxEventsPerRecorder)
+		}
+		if r.Dropped() != 10 {
+			t.Errorf("dropped %d, want 10", r.Dropped())
+		}
+	})
+}
+
+func TestCounterRegistry(t *testing.T) {
+	tests := []struct {
+		name string
+		ops  func(r *obs.Recorder)
+		want float64
+	}{
+		{"inc", func(r *obs.Recorder) {
+			c := r.Counter("c")
+			c.Inc()
+			c.Inc()
+		}, 2},
+		{"add", func(r *obs.Recorder) { r.Counter("c").Add(3.5) }, 3.5},
+		{"same name same counter", func(r *obs.Recorder) {
+			r.Counter("c").Inc()
+			r.Counter("c").Add(4)
+		}, 5},
+		{"distinct names distinct counters", func(r *obs.Recorder) {
+			r.Counter("other").Add(100)
+			r.Counter("c").Inc()
+		}, 1},
+		{"untouched counter reads zero", func(r *obs.Recorder) { r.Counter("c") }, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			withCapture(t, func() {
+				r := obs.Rec(sim.NewEngine())
+				tc.ops(r)
+				if got := r.Counter("c").Value; got != tc.want {
+					t.Errorf("counter value = %g, want %g", got, tc.want)
+				}
+			})
+		})
+	}
+}
+
+func TestGaugeAndTimelineRegistry(t *testing.T) {
+	withCapture(t, func() {
+		r := obs.Rec(sim.NewEngine())
+		r.Gauge("g").Set(1)
+		r.Gauge("g").Set(7) // same gauge, last write wins
+		if got := r.Gauge("g").Value; got != 7 {
+			t.Errorf("gauge = %g, want 7", got)
+		}
+		tl := r.Timeline("tl", sim.Millisecond, obs.ModeSum)
+		if r.Timeline("tl", sim.Second, obs.ModeMean) != tl {
+			t.Errorf("same name must return the same timeline")
+		}
+	})
+}
+
+func TestSealRunsOnce(t *testing.T) {
+	withCapture(t, func() {
+		r := obs.Rec(sim.NewEngine())
+		n := 0
+		r.OnSeal(func() { n++ })
+		r.Seal()
+		r.Seal()
+		if n != 1 {
+			t.Errorf("seal hook ran %d times, want 1", n)
+		}
+	})
+}
+
+func TestTraceExportShape(t *testing.T) {
+	withCapture(t, func() {
+		eng := sim.NewEngine()
+		r := obs.Rec(eng)
+		r.SetLabel("shape")
+		eng.After(sim.Millisecond, func() {
+			r.Span("trackA", "op", 0, "")
+			r.Instant("trackB", "tick", "x")
+		})
+		eng.Run()
+		r.Timeline("tl", sim.Millisecond, obs.ModeSum).Add(0, 2)
+
+		var buf bytes.Buffer
+		if err := obs.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			DisplayTimeUnit string `json:"displayTimeUnit"`
+			TraceEvents     []struct {
+				Name string         `json:"name"`
+				Ph   string         `json:"ph"`
+				Pid  int            `json:"pid"`
+				Tid  int            `json:"tid"`
+				Ts   float64        `json:"ts"`
+				Args map[string]any `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("trace is not valid JSON: %v", err)
+		}
+		phases := map[string]int{}
+		var procName string
+		for _, ev := range doc.TraceEvents {
+			phases[ev.Ph]++
+			if ev.Ph == "M" && ev.Name == "process_name" {
+				procName, _ = ev.Args["name"].(string)
+			}
+		}
+		if procName != "shape" {
+			t.Errorf("process_name = %q, want label", procName)
+		}
+		// 1 process_name + track metadata, 1 span, 1 instant, counter points.
+		if phases["X"] != 1 || phases["i"] != 1 || phases["C"] == 0 || phases["M"] < 2 {
+			t.Errorf("phase census = %v", phases)
+		}
+	})
+}
+
+func TestMetricsCSVShape(t *testing.T) {
+	withCapture(t, func() {
+		r := obs.Rec(sim.NewEngine())
+		r.Counter("z").Add(1)
+		r.Counter("a").Add(2)
+		r.Gauge("g").Set(0.5)
+		r.Timeline("tl", sim.Millisecond, obs.ModeMean).Add(0, 4)
+
+		var buf bytes.Buffer
+		if err := obs.WriteMetricsCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if lines[0] != "run,type,name,key,value" {
+			t.Fatalf("header = %q", lines[0])
+		}
+		joined := buf.String()
+		for _, want := range []string{
+			"0,counter,a,,2", "0,counter,z,,1", "0,gauge,g,,0.5",
+			"0,timeline,tl,width_ns,1000000", "0,timeline,tl,0,4",
+			"0,recorder,events,,0", "0,recorder,dropped,,0",
+		} {
+			if !strings.Contains(joined, want+"\n") {
+				t.Errorf("missing row %q in:\n%s", want, joined)
+			}
+		}
+		// Counters are name-sorted: a before z.
+		if strings.Index(joined, "counter,a") > strings.Index(joined, "counter,z") {
+			t.Errorf("counters not sorted:\n%s", joined)
+		}
+	})
+}
+
+func TestMetricsJSONShape(t *testing.T) {
+	withCapture(t, func() {
+		r := obs.Rec(sim.NewEngine())
+		r.SetLabel("j")
+		r.Counter("c").Add(2)
+		r.Timeline("tl", sim.Millisecond, obs.ModeSum).Add(0, 3)
+
+		var buf bytes.Buffer
+		if err := obs.WriteMetricsJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Runs []struct {
+				Run       int                `json:"run"`
+				Label     string             `json:"label"`
+				Counters  map[string]float64 `json:"counters"`
+				Timelines []struct {
+					Name    string `json:"name"`
+					Mode    string `json:"mode"`
+					WidthNs int64  `json:"width_ns"`
+					Buckets []struct {
+						I int     `json:"i"`
+						V float64 `json:"v"`
+					} `json:"buckets"`
+				} `json:"timelines"`
+			} `json:"runs"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("metrics JSON invalid: %v", err)
+		}
+		if len(doc.Runs) != 1 || doc.Runs[0].Label != "j" || doc.Runs[0].Counters["c"] != 2 {
+			t.Fatalf("runs = %+v", doc.Runs)
+		}
+		found := false
+		for _, tl := range doc.Runs[0].Timelines {
+			if tl.Name != "tl" {
+				continue // the capture hook auto-attaches sim/events
+			}
+			found = true
+			if tl.Mode != "sum" || tl.WidthNs != 1e6 || len(tl.Buckets) == 0 || tl.Buckets[0].V != 3 {
+				t.Errorf("timeline = %+v", tl)
+			}
+		}
+		if !found {
+			t.Errorf("timeline tl missing from %+v", doc.Runs[0].Timelines)
+		}
+	})
+}
+
+func TestCanonicalOrderIgnoresRegistrationOrder(t *testing.T) {
+	// Build the same pair of recorders twice, registering them in opposite
+	// orders; the exports must come out byte-identical.
+	build := func(flip bool) (trace, csv string) {
+		obs.Reset()
+		restore := obs.Capture()
+		defer func() {
+			restore()
+			obs.Reset()
+		}()
+		mk := func(label string, v float64) {
+			r := obs.Rec(sim.NewEngine())
+			r.SetLabel(label)
+			r.Counter("v").Add(v)
+			r.Instant("t", label, "")
+		}
+		if flip {
+			mk("beta", 2)
+			mk("alpha", 1)
+		} else {
+			mk("alpha", 1)
+			mk("beta", 2)
+		}
+		var tb, cb bytes.Buffer
+		if err := obs.WriteTrace(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteMetricsCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.String(), cb.String()
+	}
+	t1, c1 := build(false)
+	t2, c2 := build(true)
+	if t1 != t2 {
+		t.Errorf("trace depends on registration order:\n%s\nvs\n%s", t1, t2)
+	}
+	if c1 != c2 {
+		t.Errorf("metrics CSV depends on registration order:\n%s\nvs\n%s", c1, c2)
+	}
+}
+
+func TestObserveStation(t *testing.T) {
+	withCapture(t, func() {
+		eng := sim.NewEngine()
+		r := obs.Rec(eng)
+		st := sim.NewStation(eng, 1)
+		obs.ObserveStation(r, st, "stage")
+		for i := 0; i < 3; i++ {
+			st.Submit(sim.Millisecond, nil)
+		}
+		eng.Run()
+		r.Seal()
+		if got := r.Counter("stage/served").Value; got != 3 {
+			t.Errorf("served = %g, want 3", got)
+		}
+		if r.Gauge("stage/utilization").Value <= 0 {
+			t.Errorf("utilization gauge not set")
+		}
+		// Three arrivals at t=0 with one server: the first goes straight into
+		// service, so observed waiting depths are 0, 0, 1 — mean 1/3.
+		q := r.Timeline("stage/queue", obs.DefaultTimelineWidth, obs.ModeMean)
+		if got := q.Mean(0); got != 1.0/3.0 {
+			t.Errorf("queue depth mean = %g, want 1/3", got)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package obs_test
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// The zero-cost-when-off contract: with obs disabled, the instrumented hot
+// paths must not allocate. CI's bench-smoke additionally runs the sim
+// package's BenchmarkEngineSchedule / BenchmarkStationSubmit (which now
+// carry the hook fields) against the BENCH_sim.json numbers of record.
+
+func TestDisabledEngineScheduleZeroAlloc(t *testing.T) {
+	obs.Reset()
+	eng := sim.NewEngine()
+	fn := func() {}
+	// Warm the heap, slot table, and free lists to steady state first.
+	for i := 0; i < 4096; i++ {
+		eng.After(sim.Duration(i%100), fn)
+	}
+	eng.Run()
+	n := testing.AllocsPerRun(1000, func() {
+		eng.After(10, fn)
+		eng.Run()
+	})
+	if n != 0 {
+		t.Errorf("disabled-path schedule+run allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestDisabledStationSubmitZeroAlloc(t *testing.T) {
+	obs.Reset()
+	eng := sim.NewEngine()
+	st := sim.NewStation(eng, 4)
+	done := func(sim.Duration) {}
+	for i := 0; i < 4096; i++ {
+		st.Submit(sim.Duration(10+i%90), done)
+	}
+	eng.Run()
+	n := testing.AllocsPerRun(1000, func() {
+		st.Submit(10, done)
+		eng.Run()
+	})
+	if n != 0 {
+		t.Errorf("disabled-path station submit allocates %.1f/op, want 0", n)
+	}
+}
+
+// BenchmarkEngineScheduleDisabled mirrors sim.BenchmarkEngineSchedule from
+// outside the package with observability compiled in but off — the apples-
+// to-apples disabled-path number for BENCH_sim.json comparisons.
+func BenchmarkEngineScheduleDisabled(b *testing.B) {
+	obs.Reset()
+	eng := sim.NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(sim.Duration(i%100), fn)
+		if i%512 == 511 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkStationSubmitDisabled mirrors sim.BenchmarkStationSubmit with the
+// observer field present but nil.
+func BenchmarkStationSubmitDisabled(b *testing.B) {
+	obs.Reset()
+	eng := sim.NewEngine()
+	st := sim.NewStation(eng, 4)
+	done := func(sim.Duration) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Submit(sim.Duration(10+i%90), done)
+		if i%256 == 255 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkEngineScheduleObserved is the enabled-path cost: every Step also
+// bumps the sim/events timeline. Not a regression gate — it quantifies what
+// turning tracing on costs.
+func BenchmarkEngineScheduleObserved(b *testing.B) {
+	obs.Reset()
+	restore := obs.Capture()
+	defer func() {
+		restore()
+		obs.Reset()
+	}()
+	eng := sim.NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(sim.Duration(i%100), fn)
+		if i%512 == 511 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkRecorderSpan measures recording one completed span (the per-op
+// cost a device pays while tracing is on).
+func BenchmarkRecorderSpan(b *testing.B) {
+	obs.Reset()
+	restore := obs.Capture()
+	defer func() {
+		restore()
+		obs.Reset()
+	}()
+	r := obs.Rec(sim.NewEngine())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Span("dev/bench", "op", 0, "")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"math"
 
 	"repro/internal/invariant"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -39,6 +41,10 @@ type Link struct {
 	// Scratch fields used during rate recomputation.
 	alloc    float64
 	unfrozen int
+
+	// obsUtil, when non-nil, receives the link's instantaneous allocation
+	// fraction at every fabric rebalance.
+	obsUtil *metrics.BucketTimeline
 }
 
 // Capacity reports the link's bandwidth.
@@ -96,11 +102,18 @@ type Fabric struct {
 	lastUpdate sim.Time
 	next       sim.Handle
 	hasNext    bool
+
+	// Observability handle, resolved once at construction (nil when off).
+	rec *obs.Recorder
 }
 
 // NewFabric creates an empty fabric on the engine.
 func NewFabric(eng *sim.Engine) *Fabric {
-	return &Fabric{eng: eng, lastUpdate: eng.Now()}
+	fb := &Fabric{eng: eng, lastUpdate: eng.Now()}
+	if obs.On {
+		fb.rec = obs.Rec(eng)
+	}
+	return fb
 }
 
 // NewLink adds a link with the given capacity to the fabric.
@@ -110,6 +123,15 @@ func (fb *Fabric) NewLink(name string, capacity units.BytesPerSec) *Link {
 	}
 	l := &Link{Name: name, capacity: float64(capacity), maxCapacity: float64(capacity)}
 	fb.links = append(fb.links, l)
+	if fb.rec != nil {
+		r := fb.rec
+		track := "pcie/" + name
+		l.obsUtil = r.Timeline(track+"/alloc", obs.DefaultTimelineWidth, obs.ModeMean)
+		r.OnSeal(func() {
+			r.Gauge(track + "/utilization").Set(l.Utilization(fb.eng.Now()))
+			r.Counter(track + "/bytes").Add(l.bytesMoved)
+		})
+	}
 	return l
 }
 
@@ -246,6 +268,14 @@ func (fb *Fabric) rebalance() {
 			if crosses {
 				fb.freeze(f, share)
 				unfrozen--
+			}
+		}
+	}
+	if fb.rec != nil {
+		now := fb.eng.Now()
+		for _, l := range fb.links {
+			if l.obsUtil != nil && l.capacity > 0 {
+				l.obsUtil.Add(now, l.alloc/l.capacity)
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/invariant"
 )
@@ -54,12 +55,49 @@ type Engine struct {
 	stopped   bool
 	// processed counts events executed, exposed for tests and runaway guards.
 	processed uint64
+	// stepHook, when set, observes every fired event (see SetStepHook).
+	stepHook func(Time)
+}
+
+// newEngineHook lets an observability layer learn about every engine the
+// program creates without sim importing it (that would be an import cycle:
+// obs needs sim.Time). Stored through an atomic pointer because engines are
+// created concurrently from experiment worker goroutines.
+var newEngineHook atomic.Pointer[func(*Engine)]
+
+// SetNewEngineHook installs fn to be called with every engine returned by
+// NewEngine, and returns a func that restores the previous hook. Passing nil
+// clears the hook. Install hooks at setup time, before simulations start.
+func SetNewEngineHook(fn func(*Engine)) (restore func()) {
+	var p *func(*Engine)
+	if fn != nil {
+		p = &fn
+	}
+	prev := newEngineHook.Swap(p)
+	return func() { newEngineHook.Store(prev) }
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
+	e := &Engine{}
+	if fn := newEngineHook.Load(); fn != nil {
+		(*fn)(e)
+	}
+	return e
+}
+
+// NewUnobservedEngine returns an engine that bypasses the new-engine hook.
+// Offline staging runs (baseline calibration) use it so that the set of
+// observed engines — and therefore any exported trace — does not depend on
+// calibration-cache warmth or worker interleaving.
+func NewUnobservedEngine() *Engine {
 	return &Engine{}
 }
+
+// SetStepHook installs fn to be called with the clock time of every event
+// this engine fires, just before the event's callback runs. A nil fn removes
+// the hook. The disabled cost is one nil check per event.
+func (e *Engine) SetStepHook(fn func(Time)) { e.stepHook = fn }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -225,6 +263,9 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.at
 	e.processed++
+	if e.stepHook != nil {
+		e.stepHook(e.now)
+	}
 	ev.fn()
 	return true
 }

@@ -12,11 +12,30 @@ type Station struct {
 	// so a steady-state submit-serve-complete cycle does not allocate.
 	free []*submitReq
 
+	// obs, when set, receives submit/completion telemetry. The disabled
+	// cost is one nil check per submit and per completion.
+	obs StationObserver
+
 	// Served counts completed requests; BusyTime accumulates server-seconds
 	// of service, from which utilization can be derived.
 	Served   uint64
 	BusyTime Duration
 }
+
+// StationObserver receives queueing telemetry from a Station. Implementations
+// must not re-enter the station synchronously.
+type StationObserver interface {
+	// StationSubmit fires when a request arrives, with the number of
+	// requests already waiting (not in service) ahead of it.
+	StationSubmit(at Time, queued int)
+	// StationDone fires when a request completes, with its service time and
+	// total sojourn (wait + service).
+	StationDone(at Time, service, sojourn Duration)
+}
+
+// SetObserver installs an observer (nil removes it). In-flight requests
+// report completions to the observer installed at completion time.
+func (s *Station) SetObserver(o StationObserver) { s.obs = o }
 
 // submitReq is one in-flight request. acquire and finish are built once per
 // request object and bound to it, so recycling the request recycles the
@@ -63,6 +82,9 @@ func (s *Station) newReq() *submitReq {
 		st.BusyTime += r.service
 		done := r.done
 		sojourn := st.eng.Now().Sub(r.arrival)
+		if st.obs != nil {
+			st.obs.StationDone(st.eng.Now(), r.service, sojourn)
+		}
 		// Recycle before invoking done: the callback may Submit again and
 		// reuse this very request.
 		r.done = nil
@@ -83,6 +105,9 @@ func (s *Station) Submit(service Duration, done func(sojourn Duration)) {
 	}
 	r := s.newReq()
 	r.service, r.arrival, r.done = service, s.eng.Now(), done
+	if s.obs != nil {
+		s.obs.StationSubmit(r.arrival, s.res.Waiting())
+	}
 	s.res.Acquire(1, r.acquire)
 }
 

@@ -1,6 +1,10 @@
 package swap
 
-import "repro/internal/sim"
+import (
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // Channel is a swap channel: the bounded set of in-flight swap operations a
 // swap frontend allows. Isolation policy is expressed by who shares a
@@ -18,11 +22,25 @@ type Channel struct {
 	Ops       uint64
 	QueueWait sim.Duration
 	eng       *sim.Engine
+
+	// Observability handle, resolved once at construction (nil when off).
+	obsQueue *metrics.BucketTimeline
 }
 
 // NewChannel creates a swap channel admitting depth concurrent operations.
 func NewChannel(eng *sim.Engine, name string, depth int) *Channel {
-	return &Channel{name: name, res: sim.NewResource(eng, depth), eng: eng}
+	c := &Channel{name: name, res: sim.NewResource(eng, depth), eng: eng}
+	if obs.On {
+		if r := obs.Rec(eng); r != nil {
+			track := "swapch/" + name
+			c.obsQueue = r.Timeline(track+"/queue", obs.DefaultTimelineWidth, obs.ModeMean)
+			r.OnSeal(func() {
+				r.Counter(track + "/ops").Add(float64(c.Ops))
+				r.Gauge(track + "/mean-queue-wait-ns").Set(float64(c.MeanQueueWait()))
+			})
+		}
+	}
+	return c
 }
 
 // Name reports the channel's name.
@@ -38,6 +56,9 @@ func (c *Channel) SetDepth(d int) { c.res.Resize(d) }
 // must call Leave exactly once when the operation completes.
 func (c *Channel) Enter(fn func()) {
 	start := c.eng.Now()
+	if c.obsQueue != nil {
+		c.obsQueue.Add(start, float64(c.res.Waiting()))
+	}
 	c.res.Acquire(1, func() {
 		c.Ops++
 		c.QueueWait += c.eng.Now().Sub(start)

@@ -1,8 +1,11 @@
 package swap
 
 import (
+	"fmt"
+
 	"repro/internal/device"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -80,7 +83,11 @@ type HostSwapStage struct {
 
 // NewHostSwapStage creates the host stage with the given worker parallelism.
 func NewHostSwapStage(eng *sim.Engine, workers int) *HostSwapStage {
-	return &HostSwapStage{station: sim.NewStation(eng, workers)}
+	h := &HostSwapStage{station: sim.NewStation(eng, workers)}
+	if obs.On {
+		obs.ObserveStation(obs.Rec(eng), h.station, "swap/host-stage")
+	}
+	return h
 }
 
 // Path is a fully composed far-memory access path: frontend overhead, an
@@ -114,12 +121,43 @@ type Path struct {
 	Errors    metrics.Counter // attempts completed with a backend error
 	Retries   metrics.Counter // re-submissions after timeout/error
 	FailedOps metrics.Counter // ops that exhausted all retries
+
+	// Observability handle, resolved once at construction (nil when off).
+	rec   *obs.Recorder
+	track string
+}
+
+// observe resolves the path's observability handle and registers its seal
+// counters. The track embeds both the channel and the backend so that paths
+// sharing a channel stay distinguishable.
+func (p *Path) observe() {
+	if !obs.On {
+		return
+	}
+	r := obs.Rec(p.eng)
+	if r == nil {
+		return
+	}
+	p.rec = r
+	p.track = "swap/" + p.channel.Name() + "/" + p.backend.Name()
+	r.OnSeal(func() {
+		r.Counter(p.track + "/swapins").Add(float64(p.SwapIns.Value))
+		r.Counter(p.track + "/swapouts").Add(float64(p.SwapOuts.Value))
+		r.Counter(p.track + "/pages-in").Add(float64(p.PagesIn))
+		r.Counter(p.track + "/pages-out").Add(float64(p.PagesOut))
+		r.Counter(p.track + "/timeouts").Add(float64(p.Timeouts.Value))
+		r.Counter(p.track + "/errors").Add(float64(p.Errors.Value))
+		r.Counter(p.track + "/retries").Add(float64(p.Retries.Value))
+		r.Counter(p.track + "/failed-ops").Add(float64(p.FailedOps.Value))
+	})
 }
 
 // NewPath builds a host-bypass path (xDM's shape): frontend → channel →
 // backend.
 func NewPath(eng *sim.Engine, backend Backend, channel *Channel) *Path {
-	return &Path{eng: eng, backend: backend, channel: channel}
+	p := &Path{eng: eng, backend: backend, channel: channel}
+	p.observe()
+	return p
 }
 
 // NewHierarchicalPath builds the traditional VM path: frontend → channel →
@@ -128,7 +166,9 @@ func NewHierarchicalPath(eng *sim.Engine, backend Backend, channel *Channel, hos
 	if host == nil {
 		panic("swap: hierarchical path requires a host stage")
 	}
-	return &Path{eng: eng, backend: backend, channel: channel, hierarchical: true, hostStage: host}
+	p := &Path{eng: eng, backend: backend, channel: channel, hierarchical: true, hostStage: host}
+	p.observe()
+	return p
 }
 
 // Backend reports the path's backend.
@@ -165,6 +205,13 @@ func (p *Path) submit(ex Extent, done func(lat sim.Duration)) {
 			p.SwapIns.Inc()
 			p.PagesIn += uint64(ex.Pages)
 			p.InLatency.Add(lat.Microseconds())
+		}
+		if p.rec != nil {
+			name := "swapin"
+			if ex.Write {
+				name = "swapout"
+			}
+			p.rec.Span(p.track, name, start, "")
 		}
 		if done != nil {
 			done(lat)
@@ -239,6 +286,9 @@ func (p *Path) send(ex Extent, done func()) {
 				return
 			}
 			p.Errors.Inc()
+			if p.rec != nil {
+				p.rec.Instant(p.track, "error", err.Error())
+			}
 			if p.Health != nil {
 				p.Health.Record(false)
 			}
@@ -252,6 +302,9 @@ func (p *Path) send(ex Extent, done func()) {
 				}
 				settled = true
 				p.Timeouts.Inc()
+				if p.rec != nil {
+					p.rec.Instant(p.track, "timeout", "")
+				}
 				if p.Health != nil {
 					p.Health.Record(false)
 				}
@@ -281,9 +334,15 @@ func (p *Path) failOrRetry(attempt *int, try func(), done func()) {
 		if backoff <= 0 {
 			backoff = DefaultRetryBackoff
 		}
+		if p.rec != nil {
+			p.rec.Instant(p.track, "retry", fmt.Sprintf("attempt=%d backoff=%v", *attempt, backoff<<(*attempt-1)))
+		}
 		p.eng.After(backoff<<(*attempt-1), try)
 		return
 	}
 	p.FailedOps.Inc()
+	if p.rec != nil {
+		p.rec.Instant(p.track, "failed", "retries exhausted")
+	}
 	done()
 }

@@ -11,6 +11,8 @@ import (
 
 	"repro/internal/invariant"
 	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/swap"
 	"repro/internal/trace"
@@ -194,6 +196,12 @@ type Task struct {
 	started    bool
 	done       func(Stats)
 	finished   bool
+
+	// Observability handle, resolved once at construction (nil when off).
+	rec         *obs.Recorder
+	track       string
+	obsResident *metrics.BucketTimeline
+	obsFar      *metrics.BucketTimeline
 }
 
 // New builds a task from cfg. The page set's file-backed range is the first
@@ -246,6 +254,28 @@ func New(cfg Config) *Task {
 		prefetched:  make([]bool, n),
 		lost:        make([]bool, n),
 		wbTokens:    sim.NewResource(cfg.Eng, maxOutstandingWritebacks),
+	}
+	if obs.On {
+		if r := obs.Rec(cfg.Eng); r != nil {
+			t.rec = r
+			name := cfg.Name
+			if name == "" {
+				name = "task"
+			}
+			t.track = "task/" + name
+			t.obsResident = r.Timeline(t.track+"/resident", obs.DefaultTimelineWidth, obs.ModeMean)
+			t.obsFar = r.Timeline(t.track+"/far-copies", obs.DefaultTimelineWidth, obs.ModeMean)
+			r.OnSeal(func() {
+				r.Counter(t.track + "/accesses").Add(float64(t.stats.Accesses))
+				r.Counter(t.track + "/major-faults").Add(float64(t.stats.MajorFaults))
+				r.Counter(t.track + "/minor-faults").Add(float64(t.stats.MinorFaults))
+				r.Counter(t.track + "/pages-in").Add(float64(t.stats.PagesIn))
+				r.Counter(t.track + "/pages-out").Add(float64(t.stats.PagesOut))
+				r.Counter(t.track + "/reclaimed").Add(float64(t.stats.ReclaimedPages))
+				r.Counter(t.track + "/lost-pages").Add(float64(t.stats.LostPages))
+				r.Gauge(t.track + "/cgroup-limit-pages").Set(float64(t.cg.LimitPages))
+			})
+		}
 	}
 	if len(cfg.Sources) > 0 {
 		for _, src := range cfg.Sources {
@@ -317,6 +347,10 @@ func (t *Task) DropFarCopies() int {
 			"%d live slots after dropping all far copies", t.slots.Live())
 	}
 	t.stats.LostPages += uint64(n)
+	if t.rec != nil {
+		t.rec.Instant(t.track, "drop-far-copies", fmt.Sprintf("dropped=%d", n))
+		t.obsFar.Add(t.eng.Now(), 0)
+	}
 	return n
 }
 
@@ -596,6 +630,9 @@ func (t *Task) makeResident(id int32, viaPrefetch bool) {
 	}
 	t.ps.MakeResident(id, node)
 	t.prefetched[id] = viaPrefetch
+	if t.obsResident != nil {
+		t.obsResident.Add(t.eng.Now(), float64(t.ps.Resident()))
+	}
 }
 
 // reclaimFor evicts enough pages that incoming more pages fit the cgroup.
@@ -647,6 +684,11 @@ func (t *Task) reclaimPages(n int) {
 		ckFarCopies.Assert(t.farCopies == t.slots.Live(),
 			"%d pages flagged with far copies but %d live slots", t.farCopies, t.slots.Live())
 	}
+	if t.obsFar != nil {
+		now := t.eng.Now()
+		t.obsFar.Add(now, float64(t.farCopies))
+		t.obsResident.Add(now, float64(t.ps.Resident()))
+	}
 	t.writeback(t.cfg.SwapPath, swapWB)
 	t.writeback(t.cfg.FilePath, fileWB)
 }
@@ -681,6 +723,9 @@ func (t *Task) finish() {
 	}
 	t.finished = true
 	t.stats.Runtime = t.eng.Now().Sub(t.start)
+	if t.rec != nil {
+		t.rec.Span(t.track, "run", t.start, "")
+	}
 	if t.done != nil {
 		t.done(t.stats)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/invariant"
+	"repro/internal/obs"
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/swap"
@@ -214,6 +215,10 @@ type VM struct {
 	// Switches and SwitchTime accumulate backend-switch overhead.
 	Switches   uint64
 	SwitchTime sim.Duration
+
+	// Observability handle, resolved once at creation (nil when off).
+	rec   *obs.Recorder
+	track string
 }
 
 // CreateVM allocates host resources and boots a VM with the named warm
@@ -242,6 +247,16 @@ func (m *Machine) CreateVM(name string, cores, pages int, warmBackends []string,
 		warm:    make(map[string]*swap.Path),
 		state:   Booting,
 	}
+	if obs.On {
+		if r := obs.Rec(m.Eng); r != nil {
+			v.rec = r
+			v.track = "vm/" + name
+			r.OnSeal(func() {
+				r.Counter(v.track + "/switches").Add(float64(v.Switches))
+				r.Gauge(v.track + "/switch-time-ns").Set(float64(v.SwitchTime))
+			})
+		}
+	}
 	boot := VMBootCost
 	for _, b := range warmBackends {
 		be, ok := m.backends[b]
@@ -257,8 +272,12 @@ func (m *Machine) CreateVM(name string, cores, pages int, warmBackends []string,
 	}
 	v.active = warmBackends[0]
 	m.vms = append(m.vms, v)
+	bootStart := m.Eng.Now()
 	m.Eng.After(boot, func() {
 		v.state = Free
+		if v.rec != nil {
+			v.rec.Span(v.track, "boot", bootStart, "")
+		}
 		if done != nil {
 			done(v)
 		}
@@ -344,10 +363,14 @@ func (v *VM) SwitchBackend(name string, done func()) error {
 	v.state = Switching
 	v.Switches++
 	v.SwitchTime += cost
+	switchStart := v.machine.Eng.Now()
 	v.machine.Eng.After(cost, func() {
 		v.active = name
 		if v.state == Switching {
 			v.state = prev
+		}
+		if v.rec != nil {
+			v.rec.Span(v.track, "switch", switchStart, name)
 		}
 		if done != nil {
 			done()
@@ -362,8 +385,12 @@ func (v *VM) SwitchBackend(name string, done func()) error {
 func (v *VM) Reboot(done func()) {
 	prev := v.state
 	v.state = Booting
+	rebootStart := v.machine.Eng.Now()
 	v.machine.Eng.After(VMRebootCost, func() {
 		v.state = prev
+		if v.rec != nil {
+			v.rec.Span(v.track, "reboot", rebootStart, "")
+		}
 		if done != nil {
 			done()
 		}
