@@ -79,12 +79,13 @@ func main() {
 			os.Exit(2)
 		}
 		// Probe writability upfront so a bad path fails before minutes of
-		// simulation, with a usage-style exit code.
+		// simulation, with a usage-style exit code. No O_TRUNC: an existing
+		// artifact at the path must survive if the run is interrupted.
 		for _, p := range []string{*traceOut, *metricsOut} {
 			if p == "" {
 				continue
 			}
-			f, err := os.Create(p)
+			f, err := os.OpenFile(p, os.O_WRONLY|os.O_CREATE, 0o666)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "xdmsim:", err)
 				os.Exit(2)

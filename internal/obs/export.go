@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -24,16 +25,22 @@ import (
 // orderedRecorders seals every recorder and returns them in canonical order.
 func orderedRecorders() []*Recorder {
 	recs := snapshot()
-	sigs := make([]string, len(recs))
+	type keyed struct {
+		r   *Recorder
+		sig string
+	}
+	ks := make([]keyed, len(recs))
 	for i, r := range recs {
 		r.Seal()
 		var tb, mb bytes.Buffer
 		r.writeTraceChunk(&tb, 0)
 		r.writeMetricsCSVChunk(&mb, 0)
-		sigs[i] = tb.String() + "\x00" + mb.String()
+		ks[i] = keyed{r: r, sig: tb.String() + "\x00" + mb.String()}
 	}
-	sort.SliceStable(recs, func(a, b int) bool { return sigs[a] < sigs[b] })
-	sort.Strings(sigs)
+	sort.SliceStable(ks, func(a, b int) bool { return ks[a].sig < ks[b].sig })
+	for i, k := range ks {
+		recs[i] = k.r
+	}
 	return recs
 }
 
@@ -65,7 +72,12 @@ func sortedTimelineNames(r *Recorder) []string {
 }
 
 // fmtFloat renders v in the shortest round-trip form ('g', like %v).
+// Non-finite values render as 0: NaN/±Inf are not valid JSON tokens, and a
+// clamped sample beats an artifact no parser will load.
 func fmtFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 

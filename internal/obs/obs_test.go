@@ -3,6 +3,7 @@ package obs_test
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
@@ -280,27 +281,24 @@ func TestMetricsJSONShape(t *testing.T) {
 }
 
 func TestCanonicalOrderIgnoresRegistrationOrder(t *testing.T) {
-	// Build the same pair of recorders twice, registering them in opposite
-	// orders; the exports must come out byte-identical.
-	build := func(flip bool) (trace, csv string) {
+	// Build the same set of recorders under several registration orders; the
+	// exports must come out byte-identical. Four recorders, not two: sorting
+	// with a detached key slice happens to work at n=2 (the one size where
+	// "swap both" and "swap neither" cover every permutation), so only n>=3
+	// exercises the ordering for real.
+	labels := []string{"alpha", "beta", "gamma", "delta"}
+	build := func(order []int) (trace, csv string) {
 		obs.Reset()
 		restore := obs.Capture()
 		defer func() {
 			restore()
 			obs.Reset()
 		}()
-		mk := func(label string, v float64) {
+		for _, i := range order {
 			r := obs.Rec(sim.NewEngine())
-			r.SetLabel(label)
-			r.Counter("v").Add(v)
-			r.Instant("t", label, "")
-		}
-		if flip {
-			mk("beta", 2)
-			mk("alpha", 1)
-		} else {
-			mk("alpha", 1)
-			mk("beta", 2)
+			r.SetLabel(labels[i])
+			r.Counter("v").Add(float64(i + 1))
+			r.Instant("t", labels[i], "")
 		}
 		var tb, cb bytes.Buffer
 		if err := obs.WriteTrace(&tb); err != nil {
@@ -311,14 +309,42 @@ func TestCanonicalOrderIgnoresRegistrationOrder(t *testing.T) {
 		}
 		return tb.String(), cb.String()
 	}
-	t1, c1 := build(false)
-	t2, c2 := build(true)
-	if t1 != t2 {
-		t.Errorf("trace depends on registration order:\n%s\nvs\n%s", t1, t2)
+	t1, c1 := build([]int{0, 1, 2, 3})
+	for _, order := range [][]int{{3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}} {
+		t2, c2 := build(order)
+		if t1 != t2 {
+			t.Errorf("trace depends on registration order %v:\n%s\nvs\n%s", order, t1, t2)
+		}
+		if c1 != c2 {
+			t.Errorf("metrics CSV depends on registration order %v:\n%s\nvs\n%s", order, c1, c2)
+		}
 	}
-	if c1 != c2 {
-		t.Errorf("metrics CSV depends on registration order:\n%s\nvs\n%s", c1, c2)
-	}
+}
+
+func TestNonFiniteValuesExportAsValidJSON(t *testing.T) {
+	withCapture(t, func() {
+		r := obs.Rec(sim.NewEngine())
+		r.Gauge("nan").Set(math.NaN())
+		r.Gauge("posinf").Set(math.Inf(1))
+		r.Counter("neginf").Add(math.Inf(-1))
+		var mb bytes.Buffer
+		if err := obs.WriteMetricsJSON(&mb); err != nil {
+			t.Fatal(err)
+		}
+		var parsed any
+		if err := json.Unmarshal(mb.Bytes(), &parsed); err != nil {
+			t.Fatalf("metrics JSON with non-finite values does not parse: %v\n%s", err, mb.String())
+		}
+		var cb bytes.Buffer
+		if err := obs.WriteMetricsCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		for _, tok := range []string{"NaN", "Inf"} {
+			if strings.Contains(cb.String(), tok) {
+				t.Errorf("metrics CSV leaks %q token:\n%s", tok, cb.String())
+			}
+		}
+	})
 }
 
 func TestObserveStation(t *testing.T) {
