@@ -5,6 +5,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analyze"
 	"repro/internal/experiments"
 	"repro/internal/invariant"
 	"repro/internal/obs"
@@ -23,6 +25,31 @@ import (
 func perExpFile(stem, id string) string {
 	ext := filepath.Ext(stem)
 	return strings.TrimSuffix(stem, ext) + "." + id + ext
+}
+
+// writeLatencySummary reduces the experiment's captured recorders to an
+// xdm-latency-summary/1 artifact: it round-trips the in-memory metrics and
+// trace through their export forms so the summary matches exactly what an
+// offline `xdmtrace summarize -trace ...` of the written artifacts produces.
+func writeLatencySummary(path, label string) error {
+	var mbuf, tbuf bytes.Buffer
+	if err := obs.WriteMetricsJSON(&mbuf); err != nil {
+		return err
+	}
+	if err := obs.WriteTrace(&tbuf); err != nil {
+		return err
+	}
+	m, err := analyze.ParseMetrics(mbuf.Bytes())
+	if err != nil {
+		return err
+	}
+	tr, err := analyze.ParseTrace(tbuf.Bytes())
+	if err != nil {
+		return err
+	}
+	s := analyze.Summarize(m, label)
+	s.AttachStages(analyze.Correlate(tr))
+	return s.WriteFile(path)
 }
 
 func main() {
@@ -39,6 +66,10 @@ func main() {
 			"per-experiment Chrome trace-event JSON stem: t.json writes t.fig2b.json, t.tab6.json, ...")
 		metricsOut = flag.String("metrics", "",
 			"per-experiment metrics stem (CSV, or JSON when the path ends in .json)")
+		latencyOut = flag.String("latency", "",
+			"per-experiment latency-summary JSON stem (xdm-latency-summary/1, diffable with xdmtrace)")
+		only = flag.String("only", "",
+			"comma-separated experiment ids to run (default: all)")
 	)
 	flag.Parse()
 
@@ -72,7 +103,31 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	observing := *traceOut != "" || *metricsOut != ""
+	ids := experiments.IDs()
+	if *only != "" {
+		known := map[string]bool{}
+		for _, id := range ids {
+			known[id] = true
+		}
+		ids = nil
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "xdmbench: unknown experiment %q in -only\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+		if len(ids) == 0 {
+			fmt.Fprintln(os.Stderr, "xdmbench: -only selected no experiments")
+			os.Exit(2)
+		}
+	}
+
+	observing := *traceOut != "" || *metricsOut != "" || *latencyOut != ""
 	if observing {
 		obs.Capture()
 	}
@@ -81,7 +136,7 @@ func main() {
 	fmt.Fprintf(w, "xDM reproduction — full evaluation (scale=%d seed=%d)\n\n", *scale, *seed)
 	experiments.ResetGridCellTime()
 	wallStart := time.Now()
-	for _, id := range experiments.IDs() {
+	for _, id := range ids {
 		start := time.Now()
 		if observing {
 			obs.Reset() // each experiment gets its own files
@@ -105,6 +160,12 @@ func main() {
 		}
 		if *metricsOut != "" {
 			if err := obs.WriteMetricsFile(perExpFile(*metricsOut, id)); err != nil {
+				fmt.Fprintln(os.Stderr, "xdmbench:", err)
+				os.Exit(1)
+			}
+		}
+		if *latencyOut != "" {
+			if err := writeLatencySummary(perExpFile(*latencyOut, id), id); err != nil {
 				fmt.Fprintln(os.Stderr, "xdmbench:", err)
 				os.Exit(1)
 			}

@@ -1,0 +1,215 @@
+// Command xdmtrace analyzes the observability artifacts the simulators emit
+// (-metrics / -trace on xdmsim and xdmbench) and gates latency regressions.
+//
+// Usage:
+//
+//	xdmtrace summarize <metrics-artifact> [-trace t.json] [-label s] [-format text|json] [-o out]
+//	xdmtrace diff <baseline> <candidate> [-rel 0.05] [-all]
+//
+// summarize reduces a metrics artifact (CSV or JSON) to a latency summary:
+// per-histogram count/min/max/mean/p50/p95/p99, utilization timeline
+// aggregates (mean, peak, idle fraction, integral), and — when -trace is
+// given — the exact per-op stage attribution totals correlated from "op=N"
+// spans. -format json emits the xdm-latency-summary/1 artifact that diff
+// consumes and CI commits as a baseline.
+//
+// diff compares two summaries (either may also be a raw metrics artifact,
+// which is summarized on the fly). A statistic regresses when
+// new > old*(1+rel). Exit status: 0 clean, 1 regression found, 2 usage or
+// artifact error (missing file, unparseable input, schema mismatch).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analyze"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  xdmtrace summarize <metrics-artifact> [-trace t.json] [-label s] [-format text|json] [-o out]
+  xdmtrace diff <baseline> <candidate> [-rel 0.05] [-all]`)
+	os.Exit(2)
+}
+
+// fail reports an artifact/usage error and exits 2 — distinct from exit 1,
+// which diff reserves for a genuine latency regression.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "xdmtrace:", err)
+	os.Exit(2)
+}
+
+// parseInterleaved parses fs while allowing positional arguments before,
+// between, or after flags (package flag alone stops at the first positional,
+// which would reject the documented `summarize <artifact> -trace t.json`).
+func parseInterleaved(fs *flag.FlagSet, args []string) []string {
+	var pos []string
+	for {
+		fs.Parse(args)
+		args = fs.Args()
+		if len(args) == 0 {
+			return pos
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "summarize":
+		runSummarize(os.Args[2:])
+	case "diff":
+		runDiff(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "xdmtrace: unknown subcommand %q\n", os.Args[1])
+		usage()
+	}
+}
+
+func runSummarize(args []string) {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	traceIn := fs.String("trace", "", "correlate this trace's op=N spans into stage attribution")
+	label := fs.String("label", "", "label recorded in the summary")
+	format := fs.String("format", "text", "output format: text | json")
+	out := fs.String("o", "", "output file (default stdout)")
+	pos := parseInterleaved(fs, args)
+	if len(pos) != 1 {
+		usage()
+	}
+	if *format != "text" && *format != "json" {
+		fail(fmt.Errorf("unknown -format %q (want text or json)", *format))
+	}
+
+	m, err := analyze.ParseMetricsFile(pos[0])
+	if err != nil {
+		fail(err)
+	}
+	s := analyze.Summarize(m, *label)
+	if *traceIn != "" {
+		tr, err := analyze.ParseTraceFile(*traceIn)
+		if err != nil {
+			fail(err)
+		}
+		s.AttachStages(analyze.Correlate(tr))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *format == "json" {
+		data, err := s.Render()
+		if err != nil {
+			fail(err)
+		}
+		w.Write(data)
+		return
+	}
+	renderText(w, s)
+}
+
+func renderText(w *os.File, s *analyze.Summary) {
+	if s.Label != "" {
+		fmt.Fprintf(w, "summary %s (source %s)\n\n", s.Label, s.Source)
+	}
+	fmt.Fprintf(w, "%-36s %8s %12s %12s %12s %12s %12s\n",
+		"histogram", "count", "min", "p50", "p95", "p99", "max")
+	for _, h := range s.Hists {
+		fmt.Fprintf(w, "%-36s %8d %12.0f %12.0f %12.0f %12.0f %12.0f\n",
+			h.Name, h.Count, h.Min, h.P50, h.P95, h.P99, h.Max)
+	}
+	if len(s.Utils) > 0 {
+		fmt.Fprintf(w, "\n%-36s %10s %10s %8s %14s\n", "timeline", "mean", "peak", "idle", "integral")
+		for _, u := range s.Utils {
+			fmt.Fprintf(w, "%-36s %10.4f %10.4f %7.1f%% %14.4f\n",
+				u.Name, u.Mean, u.Peak, u.Idle*100, u.Integral)
+		}
+	}
+	if t := s.Stages; t != nil && t.Ops > 0 {
+		fmt.Fprintf(w, "\nstage attribution over %d ops (%% of e2e)\n", t.Ops)
+		total := float64(t.E2ENs)
+		row := func(name string, ns int64) {
+			pct := 0.0
+			if total > 0 {
+				pct = float64(ns) / total * 100
+			}
+			fmt.Fprintf(w, "  %-14s %14d ns %6.1f%%\n", name, ns, pct)
+		}
+		row("queue", t.QueueNs)
+		row("arbitrate", t.ArbitrateNs)
+		row("transfer", t.TransferNs)
+		row("host-copy", t.HostCopyNs)
+		row("unattributed", t.UnattributedNs)
+		fmt.Fprintf(w, "  %-14s %14d ns\n", "e2e", t.E2ENs)
+	}
+}
+
+// loadSummary reads path as either a latency summary or a raw metrics
+// artifact (summarized on the fly), dispatching on the embedded schema.
+func loadSummary(path string) *analyze.Summary {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	schema := analyze.SchemaOf(data)
+	switch {
+	case schema == analyze.SummarySchema:
+		s, err := analyze.ParseSummary(data)
+		if err != nil {
+			fail(err)
+		}
+		return s
+	case strings.HasPrefix(schema, "xdm-metrics/"):
+		m, err := analyze.ParseMetrics(data)
+		if err != nil {
+			fail(err)
+		}
+		s := analyze.Summarize(m, "")
+		if s.Source == "" {
+			// Pre-versioning CSV artifacts carry no schema line; SchemaOf
+			// still identifies them, so v1-vs-v2 diffs are refused rather
+			// than silently compared.
+			s.Source = schema
+		}
+		return s
+	case schema == "":
+		fail(fmt.Errorf("%s: unrecognized artifact (no schema)", path))
+	default:
+		fail(fmt.Errorf("%s: unsupported artifact schema %q", path, schema))
+	}
+	panic("unreachable")
+}
+
+func runDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	rel := fs.Float64("rel", 0.05, "relative degradation tolerated before flagging")
+	all := fs.Bool("all", false, "print unchanged metrics too")
+	pos := parseInterleaved(fs, args)
+	if len(pos) != 2 {
+		usage()
+	}
+	old := loadSummary(pos[0])
+	new_ := loadSummary(pos[1])
+	res, err := analyze.Diff(old, new_, analyze.DiffOptions{Rel: *rel})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(res.Render(!*all))
+	if regs := res.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "xdmtrace: %d metric(s) regressed beyond %.0f%%\n", len(regs), *rel*100)
+		os.Exit(1)
+	}
+	fmt.Printf("no regressions (%d metrics compared, rel %.0f%%)\n", len(res.Deltas), *rel*100)
+}

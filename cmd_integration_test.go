@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analyze"
 )
 
 // buildCmd compiles one of the repository's executables into dir.
@@ -303,7 +305,7 @@ func TestXdmsimObservabilityOutputs(t *testing.T) {
 		}
 		last[key] = ev.Ts
 	}
-	if !strings.HasPrefix(string(metrics1), "run,type,name,key,value\n") {
+	if !strings.HasPrefix(string(metrics1), "# schema: xdm-metrics/2\nrun,type,name,key,value\n") {
 		t.Errorf("metrics CSV header malformed: %q", strings.SplitN(string(metrics1), "\n", 2)[0])
 	}
 
@@ -384,5 +386,176 @@ func TestXdmbenchFormats(t *testing.T) {
 				t.Error("csv output malformed")
 			}
 		}
+	}
+}
+
+// TestXdmbenchLatencySummaries covers -only experiment filtering and the
+// -latency stem, then drives xdmtrace over the emitted artifacts: an
+// identical rerun must diff clean (exit 0) and an injected p99 regression
+// must gate (exit 1).
+func TestXdmbenchLatencySummaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs an experiment")
+	}
+	dir := t.TempDir()
+	bench := buildCmd(t, dir, "xdmbench")
+	xdmtrace := buildCmd(t, dir, "xdmtrace")
+
+	latStem := filepath.Join(dir, "lat.json")
+	metricsStem := filepath.Join(dir, "m.json")
+	traceStem := filepath.Join(dir, "t.json")
+	out, err := exec.Command(bench, "-o", "-", "-scale", "16", "-only", "fig2b",
+		"-latency", latStem, "-metrics", metricsStem, "-trace", traceStem).CombinedOutput()
+	if err != nil {
+		t.Fatalf("xdmbench -only fig2b: %v\n%s", err, out)
+	}
+	if strings.Contains(string(out), "#tab6") {
+		t.Error("-only fig2b still ran tab6")
+	}
+	latPath := filepath.Join(dir, "lat.fig2b.json")
+	raw, err := os.ReadFile(latPath)
+	if err != nil {
+		t.Fatalf("per-experiment latency summary missing: %v", err)
+	}
+	sum, err := analyze.ParseSummary(raw)
+	if err != nil {
+		t.Fatalf("latency summary does not parse: %v", err)
+	}
+	if sum.Label != "fig2b" || sum.Stages == nil || sum.Stages.Ops == 0 {
+		t.Fatalf("latency summary incomplete: label=%q stages=%+v", sum.Label, sum.Stages)
+	}
+
+	// Offline summarize of the written metrics+trace must agree with the
+	// in-process summary xdmbench emitted.
+	sumPath := filepath.Join(dir, "offline.json")
+	out, err = exec.Command(xdmtrace, "summarize", filepath.Join(dir, "m.fig2b.json"),
+		"-trace", filepath.Join(dir, "t.fig2b.json"), "-label", "fig2b",
+		"-format", "json", "-o", sumPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("xdmtrace summarize: %v\n%s", err, out)
+	}
+	out, err = exec.Command(xdmtrace, "diff", latPath, sumPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("identical diff should exit 0: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "no regressions") {
+		t.Errorf("clean diff output missing confirmation:\n%s", out)
+	}
+
+	// The text rendering includes the stage attribution table.
+	out, err = exec.Command(xdmtrace, "summarize", filepath.Join(dir, "m.fig2b.json"),
+		"-trace", filepath.Join(dir, "t.fig2b.json")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("xdmtrace summarize text: %v\n%s", err, out)
+	}
+	for _, want := range []string{"stage attribution", "transfer", "arbitrate", "e2e"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("text summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// Inject a 2x p99 regression into one histogram; diff must exit 1.
+	bad := *sum
+	bad.Hists = append([]analyze.HistStats(nil), sum.Hists...)
+	injected := false
+	for i := range bad.Hists {
+		if bad.Hists[i].P99 > 0 {
+			bad.Hists[i].P99 *= 2
+			injected = true
+			break
+		}
+	}
+	if !injected {
+		t.Fatal("no nonzero p99 to regress")
+	}
+	badPath := filepath.Join(dir, "regressed.json")
+	if err := bad.WriteFile(badPath); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(xdmtrace, "diff", latPath, badPath)
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err = cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("regressed diff exited %v, want exit code 1\n%s%s", err, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSED") || !strings.Contains(stderr.String(), "regressed") {
+		t.Errorf("regression not reported:\nstdout:\n%s\nstderr:\n%s", stdout.String(), stderr.String())
+	}
+	// A loose enough threshold tolerates the same delta.
+	if out, err := exec.Command(xdmtrace, "diff", latPath, badPath, "-rel", "1.5").CombinedOutput(); err != nil {
+		t.Errorf("diff -rel 1.5 should tolerate a 2x delta: %v\n%s", err, out)
+	}
+}
+
+// TestXdmtraceValidation pins the exit-2 contract: missing or unparseable
+// artifacts, schema mismatches between diff inputs, and usage errors.
+func TestXdmtraceValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "xdmtrace")
+
+	garbage := filepath.Join(dir, "garbage.csv")
+	os.WriteFile(garbage, []byte("this is not an artifact\n"), 0o644)
+	v1 := filepath.Join(dir, "v1.json")
+	os.WriteFile(v1, []byte(`{"schema":"xdm-latency-summary/1","source_schema":"xdm-metrics/1","hists":[],"utils":[]}`+"\n"), 0o644)
+	v2 := filepath.Join(dir, "v2.json")
+	os.WriteFile(v2, []byte(`{"schema":"xdm-latency-summary/1","source_schema":"xdm-metrics/2","hists":[],"utils":[]}`+"\n"), 0o644)
+	badSchema := filepath.Join(dir, "future.json")
+	os.WriteFile(badSchema, []byte(`{"schema":"xdm-latency-summary/99","hists":[]}`+"\n"), 0o644)
+
+	cases := []struct {
+		name    string
+		args    []string
+		wantMsg string
+	}{
+		{"no subcommand", nil, "usage:"},
+		{"unknown subcommand", []string{"frobnicate"}, "unknown subcommand"},
+		{"summarize no args", []string{"summarize"}, "usage:"},
+		{"summarize missing file", []string{"summarize", filepath.Join(dir, "nope.csv")}, "no such file"},
+		{"summarize garbage", []string{"summarize", garbage}, "metrics CSV"},
+		{"summarize bad format", []string{"summarize", garbage, "-format", "xml"}, "-format"},
+		{"diff one arg", []string{"diff", v2}, "usage:"},
+		{"diff missing file", []string{"diff", v2, filepath.Join(dir, "nope.json")}, "no such file"},
+		{"diff garbage", []string{"diff", v2, garbage}, "unrecognized artifact"},
+		{"diff source schema mismatch", []string{"diff", v1, v2}, "schema mismatch"},
+		{"diff unsupported summary version", []string{"diff", v2, badSchema}, "xdm-latency-summary/99"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cmd := exec.Command(bin, c.args...)
+			var stderr strings.Builder
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 2 {
+				t.Fatalf("%v exited %v, want exit code 2\n%s", c.args, err, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), c.wantMsg) {
+				t.Errorf("stderr missing %q:\n%s", c.wantMsg, stderr.String())
+			}
+		})
+	}
+}
+
+func TestXdmbenchOnlyValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildCmd(t, t.TempDir(), "xdmbench")
+	cmd := exec.Command(bin, "-o", "-", "-only", "bogus")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("-only bogus exited %v, want exit code 2", err)
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Errorf("stderr missing diagnostic:\n%s", stderr.String())
 	}
 }

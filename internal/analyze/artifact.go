@@ -1,0 +1,383 @@
+// Package analyze is the post-run analysis tier over the obs export formats:
+// it parses metrics artifacts (CSV or JSON) and Chrome trace-event files,
+// reconstructs histograms and timelines, correlates per-op spans into exact
+// stage breakdowns, reduces everything to a compact latency summary, and
+// diffs two summaries for regression gating. cmd/xdmtrace is its CLI.
+//
+// The package deliberately reuses the measurement primitives in
+// internal/metrics (Histogram bucket reconstruction, BucketTimeline
+// aggregate accessors) instead of re-deriving quantile or bucket math — the
+// artifact is a serialization of those types, not a foreign schema.
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Run is one recorder's worth of parsed metrics.
+type Run struct {
+	Run       int
+	Label     string
+	Counters  map[string]float64
+	Gauges    map[string]float64
+	Hists     map[string]*metrics.Histogram
+	Timelines map[string]*Timeline
+}
+
+// Timeline is a parsed bucketed series, reconstructed into a BucketTimeline
+// so the aggregate accessors (Mean/Peak/Integrate) apply directly.
+type Timeline struct {
+	Name    string
+	Mode    string // "mean" or "sum"
+	WidthNs int64
+	TL      *metrics.BucketTimeline
+	// Filled tracks the populated bucket indices, for idle-fraction math.
+	Filled int
+	Len    int
+}
+
+// Metrics is a parsed metrics artifact.
+type Metrics struct {
+	Schema string
+	Runs   []*Run
+}
+
+func newRun(id int) *Run {
+	return &Run{
+		Run:       id,
+		Counters:  map[string]float64{},
+		Gauges:    map[string]float64{},
+		Hists:     map[string]*metrics.Histogram{},
+		Timelines: map[string]*Timeline{},
+	}
+}
+
+// ParseMetrics parses a metrics artifact from raw bytes, auto-detecting the
+// format: JSON (WriteMetricsJSON) or CSV (WriteMetricsCSV).
+func ParseMetrics(data []byte) (*Metrics, error) {
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	if trimmed == "" {
+		return nil, fmt.Errorf("analyze: empty metrics artifact")
+	}
+	if trimmed[0] == '{' {
+		return parseMetricsJSON([]byte(trimmed))
+	}
+	return parseMetricsCSV(trimmed)
+}
+
+// ParseMetricsFile reads and parses the metrics artifact at path.
+func ParseMetricsFile(path string) (*Metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ParseMetrics(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// jsonHist mirrors the per-run hist object in WriteMetricsJSON.
+type jsonHist struct {
+	Name    string  `json:"name"`
+	Count   uint64  `json:"count"`
+	Sum     float64 `json:"sum"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Buckets []struct {
+		I int    `json:"i"`
+		C uint64 `json:"c"`
+	} `json:"buckets"`
+}
+
+func (jh *jsonHist) reconstruct() *metrics.Histogram {
+	h := &metrics.Histogram{}
+	for _, b := range jh.Buckets {
+		h.AddBucket(b.I, b.C)
+	}
+	h.SetStats(jh.Count, jh.Sum, jh.Min, jh.Max)
+	return h
+}
+
+func parseMetricsJSON(data []byte) (*Metrics, error) {
+	var doc struct {
+		Schema string `json:"schema"`
+		Runs   []struct {
+			Run       int                `json:"run"`
+			Label     string             `json:"label"`
+			Counters  map[string]float64 `json:"counters"`
+			Gauges    map[string]float64 `json:"gauges"`
+			Hists     []jsonHist         `json:"hists"`
+			Timelines []struct {
+				Name    string `json:"name"`
+				Mode    string `json:"mode"`
+				WidthNs int64  `json:"width_ns"`
+				Buckets []struct {
+					I int     `json:"i"`
+					V float64 `json:"v"`
+				} `json:"buckets"`
+			} `json:"timelines"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("analyze: metrics JSON: %w", err)
+	}
+	m := &Metrics{Schema: doc.Schema}
+	for _, jr := range doc.Runs {
+		r := newRun(jr.Run)
+		r.Label = jr.Label
+		for k, v := range jr.Counters {
+			r.Counters[k] = v
+		}
+		for k, v := range jr.Gauges {
+			r.Gauges[k] = v
+		}
+		for i := range jr.Hists {
+			r.Hists[jr.Hists[i].Name] = jr.Hists[i].reconstruct()
+		}
+		for _, jt := range jr.Timelines {
+			if jt.WidthNs <= 0 {
+				return nil, fmt.Errorf("analyze: timeline %q with width %d", jt.Name, jt.WidthNs)
+			}
+			t := &Timeline{Name: jt.Name, Mode: jt.Mode, WidthNs: jt.WidthNs,
+				TL: metrics.NewBucketTimeline(sim.Duration(jt.WidthNs))}
+			// Coarsening on reconstruction would change the width; the export
+			// already coarsened, so lift the cap well past the bucket count.
+			t.TL.SetMaxBuckets(1 << 30)
+			for _, b := range jt.Buckets {
+				t.TL.Add(sim.Time(int64(b.I)*jt.WidthNs), b.V)
+				t.Filled++
+				if b.I+1 > t.Len {
+					t.Len = b.I + 1
+				}
+			}
+			r.Timelines[jt.Name] = t
+		}
+		m.Runs = append(m.Runs, r)
+	}
+	return m, nil
+}
+
+// histAccum gathers hist CSV rows until the run is complete.
+type histAccum struct {
+	h                  *metrics.Histogram
+	count              uint64
+	sum, minV, maxV    float64
+	haveCount, haveAgg bool
+}
+
+func parseMetricsCSV(text string) (*Metrics, error) {
+	m := &Metrics{}
+	runs := map[int]*Run{}
+	accums := map[int]map[string]*histAccum{}
+	sawHeader := false
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# schema:") {
+			m.Schema = strings.TrimSpace(strings.TrimPrefix(line, "# schema:"))
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "run,type,name,key,value" {
+			sawHeader = true
+			continue
+		}
+		parts := strings.SplitN(line, ",", 5)
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("analyze: metrics CSV line %d: %q", ln+1, line)
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("analyze: metrics CSV line %d: run %q", ln+1, parts[0])
+		}
+		r := runs[id]
+		if r == nil {
+			r = newRun(id)
+			runs[id] = r
+			accums[id] = map[string]*histAccum{}
+			m.Runs = append(m.Runs, r)
+		}
+		typ, name, key, val := parts[1], parts[2], parts[3], parts[4]
+		switch typ {
+		case "label":
+			r.Label = name
+		case "recorder":
+			// events/dropped bookkeeping rows; not needed for analysis.
+		case "counter":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("analyze: metrics CSV line %d: %w", ln+1, err)
+			}
+			r.Counters[name] = v
+		case "gauge":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("analyze: metrics CSV line %d: %w", ln+1, err)
+			}
+			r.Gauges[name] = v
+		case "hist":
+			a := accums[id][name]
+			if a == nil {
+				a = &histAccum{h: &metrics.Histogram{}}
+				accums[id][name] = a
+			}
+			if err := a.row(key, val); err != nil {
+				return nil, fmt.Errorf("analyze: metrics CSV line %d: %w", ln+1, err)
+			}
+		case "timeline":
+			t := r.Timelines[name]
+			if key == "width_ns" {
+				w, err := strconv.ParseInt(val, 10, 64)
+				if err != nil || w <= 0 {
+					return nil, fmt.Errorf("analyze: metrics CSV line %d: width %q", ln+1, val)
+				}
+				if t == nil {
+					t = &Timeline{Name: name, Mode: "mean", WidthNs: w,
+						TL: metrics.NewBucketTimeline(sim.Duration(w))}
+					t.TL.SetMaxBuckets(1 << 30)
+					r.Timelines[name] = t
+				}
+				continue
+			}
+			if t == nil {
+				return nil, fmt.Errorf("analyze: metrics CSV line %d: timeline %q bucket before width", ln+1, name)
+			}
+			i, err := strconv.Atoi(key)
+			if err != nil {
+				return nil, fmt.Errorf("analyze: metrics CSV line %d: bucket %q", ln+1, key)
+			}
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("analyze: metrics CSV line %d: %w", ln+1, err)
+			}
+			t.TL.Add(sim.Time(int64(i)*t.WidthNs), v)
+			t.Filled++
+			if i+1 > t.Len {
+				t.Len = i + 1
+			}
+		default:
+			return nil, fmt.Errorf("analyze: metrics CSV line %d: unknown type %q", ln+1, typ)
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("analyze: not a metrics CSV (missing %q header)", "run,type,name,key,value")
+	}
+	for id, byName := range accums {
+		for name, a := range byName {
+			runs[id].Hists[name] = a.finish()
+		}
+	}
+	// The CSV mode column is not serialized per-timeline (the sum/mean choice
+	// is baked into the exported values), so Mode stays "mean"; consumers of
+	// CSV-reconstructed timelines read levels, which is what analysis needs.
+	return m, nil
+}
+
+func (a *histAccum) row(key, val string) error {
+	switch {
+	case key == "count":
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return err
+		}
+		a.count = n
+		a.haveCount = true
+	case key == "sum" || key == "min" || key == "max":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "sum":
+			a.sum = v
+		case "min":
+			a.minV = v
+		case "max":
+			a.maxV = v
+		}
+		a.haveAgg = true
+	case strings.HasPrefix(key, "p"):
+		// Quantile rows are derived values; reconstruction recomputes them.
+	case strings.HasPrefix(key, "b"):
+		i, err := strconv.Atoi(key[1:])
+		if err != nil {
+			return fmt.Errorf("bucket key %q", key)
+		}
+		c, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return err
+		}
+		a.h.AddBucket(i, c)
+	default:
+		return fmt.Errorf("unknown hist key %q", key)
+	}
+	return nil
+}
+
+func (a *histAccum) finish() *metrics.Histogram {
+	if a.haveCount || a.haveAgg {
+		a.h.SetStats(a.count, a.sum, a.minV, a.maxV)
+	}
+	return a.h
+}
+
+// mergedHists folds every run's histogram of the same name into one
+// distribution per name (exact: log-bucketed histograms merge by adding
+// counts), returning the merged map.
+func (m *Metrics) mergedHists() map[string]*metrics.Histogram {
+	out := map[string]*metrics.Histogram{}
+	for _, r := range m.Runs {
+		for name, h := range r.Hists {
+			if agg, ok := out[name]; ok {
+				agg.Merge(h)
+			} else {
+				cp := &metrics.Histogram{}
+				cp.Merge(h)
+				out[name] = cp
+			}
+		}
+	}
+	return out
+}
+
+// SchemaOf extracts the schema string of an artifact without fully parsing
+// it: the JSON "schema" key, the CSV "# schema:" line, or the summary's
+// schema field. Unknown shapes report "".
+func SchemaOf(data []byte) string {
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	if strings.HasPrefix(trimmed, "{") {
+		var probe struct {
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal([]byte(trimmed), &probe); err == nil {
+			return probe.Schema
+		}
+		return ""
+	}
+	for _, line := range strings.Split(trimmed, "\n") {
+		if strings.HasPrefix(line, "# schema:") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "# schema:"))
+		}
+		if !strings.HasPrefix(line, "#") {
+			break
+		}
+	}
+	// Headerful CSV without a schema line predates versioning.
+	if strings.HasPrefix(trimmed, "run,type,name,key,value") {
+		return "xdm-metrics/1"
+	}
+	return ""
+}

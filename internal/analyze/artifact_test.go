@@ -1,0 +1,179 @@
+package analyze
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const obsTestdata = "../obs/testdata"
+
+func TestParseMetricsCSVAndJSONAgree(t *testing.T) {
+	csvM, err := ParseMetricsFile(filepath.Join(obsTestdata, "scenario.metrics.csv"))
+	if err != nil {
+		t.Fatalf("parse CSV: %v", err)
+	}
+	jsonM, err := ParseMetricsFile(filepath.Join(obsTestdata, "scenario.metrics.json"))
+	if err != nil {
+		t.Fatalf("parse JSON: %v", err)
+	}
+	if csvM.Schema != MetricsSchemaWant || jsonM.Schema != MetricsSchemaWant {
+		t.Fatalf("schemas = %q, %q, want %q", csvM.Schema, jsonM.Schema, MetricsSchemaWant)
+	}
+	if len(csvM.Runs) != 1 || len(jsonM.Runs) != 1 {
+		t.Fatalf("runs = %d, %d, want 1 each", len(csvM.Runs), len(jsonM.Runs))
+	}
+	cr, jr := csvM.Runs[0], jsonM.Runs[0]
+	if cr.Label != "golden" || jr.Label != "golden" {
+		t.Fatalf("labels = %q, %q", cr.Label, jr.Label)
+	}
+	if len(cr.Hists) == 0 || len(cr.Hists) != len(jr.Hists) {
+		t.Fatalf("hist count: csv %d, json %d", len(cr.Hists), len(jr.Hists))
+	}
+	for name, ch := range cr.Hists {
+		jh, ok := jr.Hists[name]
+		if !ok {
+			t.Fatalf("hist %q missing from JSON parse", name)
+		}
+		if ch.Count() != jh.Count() || ch.Sum() != jh.Sum() ||
+			ch.Min() != jh.Min() || ch.Max() != jh.Max() {
+			t.Errorf("hist %q stats differ: csv (%d,%g,%g,%g) json (%d,%g,%g,%g)",
+				name, ch.Count(), ch.Sum(), ch.Min(), ch.Max(),
+				jh.Count(), jh.Sum(), jh.Min(), jh.Max())
+		}
+		if ch.Quantile(0.99) != jh.Quantile(0.99) {
+			t.Errorf("hist %q p99 differs: %g vs %g", name, ch.Quantile(0.99), jh.Quantile(0.99))
+		}
+	}
+	if len(cr.Counters) != len(jr.Counters) {
+		t.Fatalf("counter count: csv %d, json %d", len(cr.Counters), len(jr.Counters))
+	}
+	for name, v := range cr.Counters {
+		if jr.Counters[name] != v {
+			t.Errorf("counter %q: csv %g json %g", name, v, jr.Counters[name])
+		}
+	}
+	if len(cr.Timelines) != len(jr.Timelines) {
+		t.Fatalf("timeline count: csv %d, json %d", len(cr.Timelines), len(jr.Timelines))
+	}
+	for name, ct := range cr.Timelines {
+		jt, ok := jr.Timelines[name]
+		if !ok {
+			t.Fatalf("timeline %q missing from JSON parse", name)
+		}
+		if ct.TL.Mean() != jt.TL.Mean() || ct.TL.Peak() != jt.TL.Peak() {
+			t.Errorf("timeline %q aggregates differ: mean %g/%g peak %g/%g",
+				name, ct.TL.Mean(), jt.TL.Mean(), ct.TL.Peak(), jt.TL.Peak())
+		}
+	}
+}
+
+// MetricsSchemaWant pins the metrics schema the parser was written against;
+// kept here (not imported from obs) so the test also catches accidental
+// drift between the exporter constant and the committed goldens.
+const MetricsSchemaWant = "xdm-metrics/2"
+
+func TestParseMetricsErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"json garbage":   "{not json",
+		"csv no header":  "0,counter,x,,1\n",
+		"csv bad column": "run,type,name,key,value\n0,counter,x\n",
+		"csv bad type":   "run,type,name,key,value\n0,mystery,x,,1\n",
+	}
+	for name, data := range cases {
+		if _, err := ParseMetrics([]byte(data)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestSchemaOf(t *testing.T) {
+	cases := []struct {
+		name, data, want string
+	}{
+		{"json", `{"schema":"xdm-metrics/2","runs":[]}`, "xdm-metrics/2"},
+		{"summary", `{"schema":"xdm-latency-summary/1"}`, "xdm-latency-summary/1"},
+		{"csv v2", "# schema: xdm-metrics/2\nrun,type,name,key,value\n", "xdm-metrics/2"},
+		{"csv v1", "run,type,name,key,value\n", "xdm-metrics/1"},
+		{"garbage", "hello world", ""},
+		{"bad json", "{nope", ""},
+	}
+	for _, c := range cases {
+		if got := SchemaOf([]byte(c.data)); got != c.want {
+			t.Errorf("%s: SchemaOf = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestParseMetricsFileMissing(t *testing.T) {
+	if _, err := ParseMetricsFile(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	if _, err := ParseTrace([]byte("not json")); err == nil {
+		t.Fatal("expected error for garbage trace")
+	}
+	if _, err := ParseTraceFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("expected error for missing trace file")
+	}
+}
+
+func TestParseOpDetail(t *testing.T) {
+	cases := []struct {
+		detail string
+		op     uint64
+		stripe int
+	}{
+		{"", 0, -1},
+		{"flap", 0, -1},
+		{"op=7", 7, -1},
+		{"op=12 s=3", 12, 3},
+		{"op=12 s=x", 12, -1},
+		{"op=bad", 0, -1},
+	}
+	for _, c := range cases {
+		op, stripe := parseOpDetail(c.detail)
+		if op != c.op || stripe != c.stripe {
+			t.Errorf("parseOpDetail(%q) = (%d,%d), want (%d,%d)", c.detail, op, stripe, c.op, c.stripe)
+		}
+	}
+}
+
+// writeTemp writes data to a temp file and returns its path.
+func writeTemp(t *testing.T, name, data string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseSummaryRoundTrip(t *testing.T) {
+	s := &Summary{Schema: SummarySchema, Source: "xdm-metrics/2", Label: "x",
+		Hists: []HistStats{{Name: "a", Count: 1, Sum: 2, Min: 2, Max: 2, Mean: 2, P50: 2, P95: 2, P99: 2}}}
+	data, err := s.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSummary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "x" || len(got.Hists) != 1 || got.Hists[0].P99 != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if !strings.Contains(string(data), `"schema": "`+SummarySchema+`"`) {
+		t.Fatalf("rendered summary missing schema: %s", data)
+	}
+	if _, err := ParseSummary([]byte(`{"schema":"xdm-latency-summary/99"}`)); err == nil {
+		t.Fatal("expected schema error")
+	}
+	if _, err := ParseSummary([]byte(`{broken`)); err == nil {
+		t.Fatal("expected JSON error")
+	}
+}

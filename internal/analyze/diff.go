@@ -1,0 +1,150 @@
+package analyze
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// DiffOptions controls regression gating.
+type DiffOptions struct {
+	// Rel is the relative degradation tolerated before a metric delta is
+	// flagged as a regression: new > old*(1+Rel) regresses. Defaults to
+	// 0.05 when zero or negative.
+	Rel float64
+}
+
+// diffEpsilon absorbs float round-off in old*(1+rel): deltas within one
+// part in 1e9 of the threshold never flag.
+const diffEpsilon = 1e-9
+
+// Delta is one compared metric between two summaries.
+type Delta struct {
+	Name      string // "<hist>/<stat>", e.g. "dev/ssd0/read/p99"
+	Old       float64
+	New       float64
+	Ratio     float64 // New/Old; +Inf when Old == 0 and New > 0, 1 when both 0
+	Regressed bool
+}
+
+// DiffResult is the comparison of two latency summaries.
+type DiffResult struct {
+	Deltas []Delta
+	// OnlyOld / OnlyNew list histogram names present in one summary only.
+	// Disappearing metrics do not gate; appearing ones do not either — the
+	// gate compares like with like and reports coverage drift separately.
+	OnlyOld []string
+	OnlyNew []string
+}
+
+// Regressions returns the flagged deltas.
+func (d *DiffResult) Regressions() []Delta {
+	var out []Delta
+	for _, dl := range d.Deltas {
+		if dl.Regressed {
+			out = append(out, dl)
+		}
+	}
+	return out
+}
+
+// gatedStats are the per-histogram statistics compared by Diff. Counts are
+// deliberately not gated: deterministic reruns match exactly anyway, and
+// intentional workload changes refresh the baseline.
+var gatedStats = []struct {
+	name string
+	get  func(*HistStats) float64
+}{
+	{"p50", func(h *HistStats) float64 { return h.P50 }},
+	{"p95", func(h *HistStats) float64 { return h.P95 }},
+	{"p99", func(h *HistStats) float64 { return h.P99 }},
+	{"max", func(h *HistStats) float64 { return h.Max }},
+	{"mean", func(h *HistStats) float64 { return h.Mean }},
+}
+
+// Diff compares two latency summaries metric by metric. Higher is worse for
+// every gated statistic (they are all latencies). The two summaries must
+// carry the same source schema; comparing artifacts exported by different
+// metrics schema versions is refused.
+func Diff(old, new *Summary, opts DiffOptions) (*DiffResult, error) {
+	if old.Source != "" && new.Source != "" && old.Source != new.Source {
+		return nil, fmt.Errorf("analyze: source schema mismatch: baseline %q vs candidate %q", old.Source, new.Source)
+	}
+	rel := opts.Rel
+	if rel <= 0 {
+		rel = 0.05
+	}
+	oldByName := map[string]*HistStats{}
+	for i := range old.Hists {
+		oldByName[old.Hists[i].Name] = &old.Hists[i]
+	}
+	newByName := map[string]*HistStats{}
+	for i := range new.Hists {
+		newByName[new.Hists[i].Name] = &new.Hists[i]
+	}
+	res := &DiffResult{}
+	for name := range oldByName {
+		if _, ok := newByName[name]; !ok {
+			res.OnlyOld = append(res.OnlyOld, name)
+		}
+	}
+	for name := range newByName {
+		if _, ok := oldByName[name]; !ok {
+			res.OnlyNew = append(res.OnlyNew, name)
+		}
+	}
+	sort.Strings(res.OnlyOld)
+	sort.Strings(res.OnlyNew)
+
+	names := make([]string, 0, len(oldByName))
+	for name := range oldByName {
+		if _, ok := newByName[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		oh, nh := oldByName[name], newByName[name]
+		for _, st := range gatedStats {
+			ov, nv := st.get(oh), st.get(nh)
+			d := Delta{Name: name + "/" + st.name, Old: ov, New: nv}
+			switch {
+			case ov == 0 && nv == 0:
+				d.Ratio = 1
+			case ov == 0:
+				d.Ratio = math.Inf(1)
+				d.Regressed = true
+			default:
+				d.Ratio = nv / ov
+				d.Regressed = nv > ov*(1+rel)+diffEpsilon
+			}
+			res.Deltas = append(res.Deltas, d)
+		}
+	}
+	return res, nil
+}
+
+// Render formats the diff as an aligned text table; when onlyChanged is set,
+// deltas with identical old/new values are elided.
+func (d *DiffResult) Render(onlyChanged bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %14s %14s %8s\n", "metric", "old", "new", "ratio")
+	for _, dl := range d.Deltas {
+		if onlyChanged && dl.Old == dl.New {
+			continue
+		}
+		flag := ""
+		if dl.Regressed {
+			flag = "  REGRESSED"
+		}
+		fmt.Fprintf(&b, "%-44s %14.0f %14.0f %8.3f%s\n", dl.Name, dl.Old, dl.New, dl.Ratio, flag)
+	}
+	for _, name := range d.OnlyOld {
+		fmt.Fprintf(&b, "%-44s only in baseline\n", name)
+	}
+	for _, name := range d.OnlyNew {
+		fmt.Fprintf(&b, "%-44s only in candidate\n", name)
+	}
+	return b.String()
+}

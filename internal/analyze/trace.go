@@ -1,0 +1,297 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Span is one parsed "X" trace event, with timestamps converted back to
+// whole nanoseconds (the exporter renders microseconds at nanosecond
+// precision, so the round trip is exact).
+type Span struct {
+	Run    int // trace pid
+	Track  string
+	Name   string
+	TsNs   int64
+	DurNs  int64
+	OpID   uint64 // parsed from the "op=N" Detail field; 0 = uncorrelated
+	Stripe int    // "s=I" stripe index, -1 when absent
+}
+
+// EndNs reports the span's end timestamp.
+func (s *Span) EndNs() int64 { return s.TsNs + s.DurNs }
+
+// Trace is a parsed Chrome trace-event artifact, reduced to the complete
+// spans the stage correlator consumes.
+type Trace struct {
+	Spans []Span
+	// RunLabels maps pid to the exported process name.
+	RunLabels map[int]string
+}
+
+// ParseTrace parses a Chrome trace-event JSON document produced by
+// obs.WriteTrace. Metadata events resolve (pid, tid) to track names; instant
+// and counter events are skipped.
+func ParseTrace(data []byte) (*Trace, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Args struct {
+				Name   string `json:"name"`
+				Detail string `json:"detail"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("analyze: trace JSON: %w", err)
+	}
+	tr := &Trace{RunLabels: map[int]string{}}
+	type key struct{ pid, tid int }
+	trackName := map[key]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			switch ev.Name {
+			case "thread_name":
+				trackName[key{ev.Pid, ev.Tid}] = ev.Args.Name
+			case "process_name":
+				tr.RunLabels[ev.Pid] = ev.Args.Name
+			}
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		op, stripe := parseOpDetail(ev.Args.Detail)
+		tr.Spans = append(tr.Spans, Span{
+			Run:    ev.Pid,
+			Track:  trackName[key{ev.Pid, ev.Tid}],
+			Name:   ev.Name,
+			TsNs:   usToNs(ev.Ts),
+			DurNs:  usToNs(ev.Dur),
+			OpID:   op,
+			Stripe: stripe,
+		})
+	}
+	return tr, nil
+}
+
+// ParseTraceFile reads and parses the trace at path.
+func ParseTraceFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := ParseTrace(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// usToNs converts an exported microsecond stamp back to nanoseconds.
+func usToNs(us float64) int64 { return int64(math.Round(us * 1e3)) }
+
+// parseOpDetail extracts the obs.DetailOp fields: "op=N" and optional "s=I".
+func parseOpDetail(detail string) (op uint64, stripe int) {
+	stripe = -1
+	if !strings.HasPrefix(detail, "op=") {
+		return 0, -1
+	}
+	rest := detail[len("op="):]
+	numEnd := strings.IndexByte(rest, ' ')
+	num := rest
+	if numEnd >= 0 {
+		num = rest[:numEnd]
+		if s, ok := strings.CutPrefix(rest[numEnd+1:], "s="); ok {
+			if v, err := strconv.Atoi(s); err == nil {
+				stripe = v
+			}
+		}
+	}
+	v, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0, -1
+	}
+	return v, stripe
+}
+
+// StageBreakdown is the exact latency decomposition of one swap operation,
+// assembled by correlating its "op=N" spans across the swap, device, and
+// backend layers. All fields are nanoseconds. The four category fields plus
+// Unattributed sum to E2E by construction.
+//
+// Category mapping:
+//
+//	Queue     — admission-channel wait (stage/queue) + device channel wait
+//	Arbitrate — frontend overhead + backend issue (width management) +
+//	            device base service latency ("arbitrate")
+//	Transfer  — fabric streaming of the critical stripe
+//	HostCopy  — hierarchical host-stage sojourn (stage/host-copy)
+//
+// For striped extents the device stages of the critical stripe — the one
+// whose transfer finishes last, which is what the op's completion waits on —
+// are charged; sibling stripes overlap it entirely. Anything the categories
+// do not cover (retry backoff, timeout windows, fail-fast aborts) lands in
+// Unattributed rather than silently inflating a stage.
+type StageBreakdown struct {
+	OpID  uint64 `json:"op"`
+	Run   int    `json:"run"`
+	Name  string `json:"name"` // swapin or swapout
+	Track string `json:"track"`
+	TsNs  int64  `json:"ts_ns"`
+	E2ENs int64  `json:"e2e_ns"`
+
+	QueueNs        int64 `json:"queue_ns"`
+	ArbitrateNs    int64 `json:"arbitrate_ns"`
+	TransferNs     int64 `json:"transfer_ns"`
+	HostCopyNs     int64 `json:"host_copy_ns"`
+	UnattributedNs int64 `json:"unattributed_ns"`
+}
+
+// Attributed reports the sum of the four named stages.
+func (b *StageBreakdown) Attributed() int64 {
+	return b.QueueNs + b.ArbitrateNs + b.TransferNs + b.HostCopyNs
+}
+
+// Correlate stitches per-op spans into stage breakdowns, one per swap
+// operation that completed (has a swapin/swapout end-to-end span). Results
+// are ordered by (run, op id).
+func Correlate(tr *Trace) []StageBreakdown {
+	type opKey struct {
+		run int
+		op  uint64
+	}
+	byOp := map[opKey][]*Span{}
+	for i := range tr.Spans {
+		s := &tr.Spans[i]
+		if s.OpID != 0 {
+			byOp[opKey{s.Run, s.OpID}] = append(byOp[opKey{s.Run, s.OpID}], s)
+		}
+	}
+	var out []StageBreakdown
+	for k, spans := range byOp {
+		var e2e *Span
+		for _, s := range spans {
+			if s.Name == "swapin" || s.Name == "swapout" {
+				e2e = s
+				break
+			}
+		}
+		if e2e == nil {
+			continue // op never completed (failed through without a span)
+		}
+		b := StageBreakdown{OpID: k.op, Run: k.run, Name: e2e.Name,
+			Track: e2e.Track, TsNs: e2e.TsNs, E2ENs: e2e.DurNs}
+
+		// Per-op stages recorded exactly once: admission queue, frontend
+		// overhead, and the hierarchical host sojourn. (Retries re-run the
+		// backend, not these.)
+		for _, s := range spans {
+			switch s.Name {
+			case "stage/queue":
+				b.QueueNs += s.DurNs
+			case "stage/frontend":
+				b.ArbitrateNs += s.DurNs
+			case "stage/host-copy":
+				b.HostCopyNs += s.DurNs
+			}
+		}
+
+		// The critical stripe: its transfer ends exactly when the backend
+		// completes the extent (the op's completion waits on it). Retried
+		// attempts reuse the op id, so take the latest transfer that does
+		// not outlast the e2e span — later ones are abandoned-attempt
+		// stragglers the initiator never saw.
+		var critical *Span
+		for _, s := range spans {
+			if s.Name != "transfer" || s.EndNs() > e2e.EndNs() {
+				continue
+			}
+			if critical == nil || s.EndNs() > critical.EndNs() ||
+				(s.EndNs() == critical.EndNs() && s.TsNs > critical.TsNs) {
+				critical = s
+			}
+		}
+		// Chain backwards through the critical attempt's contiguous device
+		// stages: arbitrate ends where the transfer starts, wait ends where
+		// arbitrate starts, the backend's issue span ends where the device
+		// op was submitted (wait start). Virtual-time abutment is exact, and
+		// the µs-with-ns-precision export round-trips exactly, so equality
+		// (not tolerance) is the correct join.
+		if critical != nil {
+			b.TransferNs = critical.DurNs
+			arb := chainPrev(spans, "arbitrate", critical.Track, critical.Stripe, critical.TsNs)
+			if arb != nil {
+				b.ArbitrateNs += arb.DurNs
+				wait := chainPrev(spans, "wait", critical.Track, critical.Stripe, arb.TsNs)
+				if wait != nil {
+					b.QueueNs += wait.DurNs
+					if issue := chainPrev(spans, "issue", critical.Track, -1, wait.TsNs); issue != nil {
+						b.ArbitrateNs += issue.DurNs
+					}
+				}
+			}
+		}
+		b.UnattributedNs = b.E2ENs - b.Attributed()
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Run != out[j].Run {
+			return out[i].Run < out[j].Run
+		}
+		return out[i].OpID < out[j].OpID
+	})
+	return out
+}
+
+// chainPrev finds the span of the given name on track whose end abuts endNs
+// (and, when stripe >= 0, whose stripe index matches). Used to walk one
+// attempt's contiguous stage chain backwards.
+func chainPrev(spans []*Span, name, track string, stripe int, endNs int64) *Span {
+	for _, s := range spans {
+		if s.Name == name && s.Track == track && s.EndNs() == endNs &&
+			(stripe < 0 || s.Stripe == stripe) {
+			return s
+		}
+	}
+	return nil
+}
+
+// StageTotals aggregates breakdowns into per-category totals — the critical
+// path summary of where swap time goes.
+type StageTotals struct {
+	Ops            int   `json:"ops"`
+	E2ENs          int64 `json:"e2e_ns"`
+	QueueNs        int64 `json:"queue_ns"`
+	ArbitrateNs    int64 `json:"arbitrate_ns"`
+	TransferNs     int64 `json:"transfer_ns"`
+	HostCopyNs     int64 `json:"host_copy_ns"`
+	UnattributedNs int64 `json:"unattributed_ns"`
+}
+
+// Totals sums a set of breakdowns.
+func Totals(bs []StageBreakdown) StageTotals {
+	var t StageTotals
+	for i := range bs {
+		b := &bs[i]
+		t.Ops++
+		t.E2ENs += b.E2ENs
+		t.QueueNs += b.QueueNs
+		t.ArbitrateNs += b.ArbitrateNs
+		t.TransferNs += b.TransferNs
+		t.HostCopyNs += b.HostCopyNs
+		t.UnattributedNs += b.UnattributedNs
+	}
+	return t
+}

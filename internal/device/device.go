@@ -123,6 +123,13 @@ type Op struct {
 	Write      bool
 	Size       int64
 	Sequential bool
+
+	// ID correlates this op with the swap operation that caused it; Stripe
+	// is its position among the extent's parallel sub-ops. Both are pure
+	// observability plumbing: zero ID (the default) means "uncorrelated" and
+	// suppresses the per-stage spans entirely.
+	ID     uint64
+	Stripe int
 }
 
 // Device is an instantiated device attached to a host fabric.
@@ -352,6 +359,14 @@ func (d *Device) SubmitResult(op Op, done func(lat sim.Duration, err error)) {
 		ch = d.writeCh
 	}
 	ch.Acquire(1, func() {
+		// Stage spans for correlated ops: wait (channel queueing), arbitrate
+		// (base service latency), transfer (fabric streaming). Together with
+		// the swap path's stage spans these give the analysis tier an exact
+		// decomposition of a swap op's end-to-end latency.
+		acquired := d.eng.Now()
+		if d.rec != nil && op.ID != 0 {
+			d.rec.Span(d.track, "wait", start, obs.DetailOp(op.ID, op.Stripe))
+		}
 		// The device may have faulted while the op sat in the queue.
 		if d.stalled || d.down {
 			ch.Release(1)
@@ -373,6 +388,10 @@ func (d *Device) SubmitResult(op Op, done func(lat sim.Duration, err error)) {
 			base = sim.Duration(float64(base) * d.latFactor)
 		}
 		d.eng.After(base, func() {
+			served := d.eng.Now()
+			if d.rec != nil && op.ID != 0 {
+				d.rec.Span(d.track, "arbitrate", acquired, obs.DetailOp(op.ID, op.Stripe))
+			}
 			path := make([]*pcie.Link, 0, 2+len(d.extra))
 			path = append(path, d.internal, d.slot)
 			path = append(path, d.extra...)
@@ -402,7 +421,12 @@ func (d *Device) SubmitResult(op Op, done func(lat sim.Duration, err error)) {
 					if op.Write {
 						name = "write"
 					}
-					d.rec.Span(d.track, name, start, "")
+					detail := ""
+					if op.ID != 0 {
+						detail = obs.DetailOp(op.ID, op.Stripe)
+						d.rec.Span(d.track, "transfer", served, detail)
+					}
+					d.rec.Span(d.track, name, start, detail)
 				}
 				if done != nil {
 					done(lat, nil)

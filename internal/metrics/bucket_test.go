@@ -22,14 +22,14 @@ func TestBucketTimelineEdges(t *testing.T) {
 	if got := b.Count(0); got != 2 {
 		t.Errorf("Count(0) = %d, want 2", got)
 	}
-	if got := b.Mean(0); got != 2 {
+	if got := b.BucketMean(0); got != 2 {
 		t.Errorf("Mean(0) = %g, want 2", got)
 	}
 	if got := b.Sum(1); got != 10 {
 		t.Errorf("Sum(1) = %g, want 10", got)
 	}
 	// Out-of-range accessors are zero, not panics.
-	if b.Count(-1) != 0 || b.Count(99) != 0 || b.Sum(99) != 0 || b.Mean(99) != 0 {
+	if b.Count(-1) != 0 || b.Count(99) != 0 || b.Sum(99) != 0 || b.BucketMean(99) != 0 {
 		t.Errorf("out-of-range accessors should be 0")
 	}
 }
@@ -61,8 +61,8 @@ func TestBucketTimelineOutOfOrderAdds(t *testing.T) {
 			t.Errorf("bucket %d: ordered %g, shuffled %g", i, om[i], sm[i])
 		}
 	}
-	if ordered.Mean(0) != 2 { // (1+3)/2
-		t.Errorf("Mean(0) = %g, want 2", ordered.Mean(0))
+	if ordered.BucketMean(0) != 2 { // (1+3)/2
+		t.Errorf("Mean(0) = %g, want 2", ordered.BucketMean(0))
 	}
 }
 
@@ -122,6 +122,44 @@ func TestBucketTimelineCoarsening(t *testing.T) {
 	}
 	if b.Len() > 4 {
 		t.Errorf("Len %d exceeds max buckets 4", b.Len())
+	}
+}
+
+func TestBucketTimelineAggregates(t *testing.T) {
+	b := NewBucketTimeline(sim.Second)
+
+	// Empty timeline: every aggregate is zero.
+	if b.Mean() != 0 || b.Integrate() != 0 || b.Peak() != 0 {
+		t.Fatalf("empty aggregates: mean %g integrate %g peak %g, want all 0",
+			b.Mean(), b.Integrate(), b.Peak())
+	}
+
+	// Bucket 0: samples 1,3 (mean 2); bucket 2: sample 8. Bucket 1 is empty
+	// and must contribute nothing to the integral or the peak.
+	b.Add(0, 1)
+	b.Add(sim.Time(500*sim.Millisecond), 3)
+	b.Add(sim.Time(2*sim.Second)+1, 8)
+
+	if got := b.Mean(); got != 4 { // (1+3+8)/3
+		t.Errorf("Mean = %g, want 4", got)
+	}
+	if got := b.Integrate(); math.Abs(got-10) > 1e-9 { // 2*1s + 8*1s
+		t.Errorf("Integrate = %g, want 10", got)
+	}
+	if got := b.Peak(); got != 8 {
+		t.Errorf("Peak = %g, want 8", got)
+	}
+
+	// Coarsening preserves the sample mean exactly and the integral up to
+	// bucket-merge resolution: after pairs merge, bucket 0 holds {1,3,8}... so
+	// only assert the mean, which is resolution-independent.
+	b.SetMaxBuckets(2)
+	b.Add(sim.Time(3*sim.Second), 8)
+	if got := b.Mean(); got != 5 { // (1+3+8+8)/4
+		t.Errorf("Mean after coarsening = %g, want 5", got)
+	}
+	if got := b.Peak(); got != 8 {
+		t.Errorf("Peak after coarsening = %g, want 8", got)
 	}
 }
 

@@ -4,7 +4,9 @@ import "repro/internal/sim"
 
 // Meter measures a rate (bytes/sec, ops/sec) over virtual time. Callers mark
 // quantities as they occur; Rate divides the accumulated quantity by the
-// elapsed virtual time since the meter started.
+// elapsed virtual time since the meter's anchor — creation, or the most
+// recent Reset. Resetting between experiment phases yields per-phase rates
+// instead of a lifetime average.
 type Meter struct {
 	eng   *sim.Engine
 	start sim.Time

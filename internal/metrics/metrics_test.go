@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -76,6 +77,9 @@ func TestSummaryMergeProperty(t *testing.T) {
 	}
 }
 
+// histRelErr is the log-bucketed quantile error bound: one sub-bucket width.
+const histRelErr = 1.0 / histSubBuckets
+
 func TestHistogramQuantiles(t *testing.T) {
 	var h Histogram
 	for i := 1; i <= 100; i++ {
@@ -87,12 +91,20 @@ func TestHistogramQuantiles(t *testing.T) {
 		{0, 1}, {0.5, 50}, {0.9, 90}, {0.99, 99}, {1, 100},
 	}
 	for _, c := range cases {
-		if got := h.Quantile(c.q); got != c.want {
-			t.Errorf("Quantile(%v)=%v, want %v", c.q, got, c.want)
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want) > histRelErr*c.want {
+			t.Errorf("Quantile(%v)=%v, want %v ± %.1f%%", c.q, got, c.want, histRelErr*100)
 		}
+	}
+	// Extremes are exact: min/max are tracked outside the buckets.
+	if h.Quantile(0) != 1 || h.Quantile(1) != 100 {
+		t.Errorf("extreme quantiles (%v, %v) not exact", h.Quantile(0), h.Quantile(1))
 	}
 	if h.Mean() != 50.5 {
 		t.Errorf("mean=%v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 100 || h.Sum() != 5050 {
+		t.Errorf("stats min=%v max=%v sum=%v", h.Min(), h.Max(), h.Sum())
 	}
 }
 
@@ -100,9 +112,117 @@ func TestHistogramAddAfterQuantile(t *testing.T) {
 	var h Histogram
 	h.Add(5)
 	_ = h.Quantile(0.5)
-	h.Add(1) // must re-sort
+	h.Add(1) // a later add must be reflected by subsequent quantiles
 	if got := h.Quantile(0); got != 1 {
 		t.Fatalf("Quantile(0)=%v after re-add, want 1", got)
+	}
+}
+
+func TestHistogramFixedMemory(t *testing.T) {
+	var h Histogram
+	// A million samples spanning twelve decades must not grow the histogram
+	// past the fixed bucket budget (≈ 64 octaves × histSubBuckets).
+	for i := 0; i < 1_000_000; i++ {
+		h.Add(math.Pow(10, float64(i%12)))
+	}
+	idx, counts := h.Buckets()
+	if len(idx) != len(counts) || len(idx) == 0 {
+		t.Fatalf("sparse buckets malformed: %d idx, %d counts", len(idx), len(counts))
+	}
+	if n := len(idx); n > 64*histSubBuckets {
+		t.Errorf("populated buckets %d exceed fixed budget", n)
+	}
+	if h.Count() != 1_000_000 {
+		t.Errorf("count=%d", h.Count())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	for i := 1; i <= 500; i++ {
+		a.Add(float64(i))
+		all.Add(float64(i))
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Add(float64(i * 7))
+		all.Add(float64(i * 7))
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() ||
+		a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merged stats diverge: %+v vs %+v", a, all)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("Quantile(%v): merged %v, direct %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	// Merging into/from empty histograms is lossless.
+	var empty Histogram
+	empty.Merge(&a)
+	if empty.Count() != a.Count() || empty.Min() != a.Min() {
+		t.Error("merge into empty lost data")
+	}
+	before := a.Count()
+	a.Merge(&Histogram{})
+	if a.Count() != before {
+		t.Error("merge of empty changed state")
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i) * 1.3)
+	}
+	idx, counts := h.Buckets()
+	var back Histogram
+	for i := range idx {
+		back.AddBucket(idx[i], counts[i])
+	}
+	back.SetStats(uint64(h.Count()), h.Sum(), h.Min(), h.Max())
+	if back.Count() != h.Count() || back.Min() != h.Min() || back.Max() != h.Max() {
+		t.Fatalf("round-trip stats diverge")
+	}
+	for _, q := range []float64{0.1, 0.5, 0.95, 0.99} {
+		if back.Quantile(q) != h.Quantile(q) {
+			t.Errorf("Quantile(%v): reconstructed %v, original %v", q, back.Quantile(q), h.Quantile(q))
+		}
+	}
+	// AddBucket with degenerate arguments is a no-op.
+	n := back.Count()
+	back.AddBucket(-1, 5)
+	back.AddBucket(3, 0)
+	if back.Count() != n {
+		t.Error("degenerate AddBucket changed state")
+	}
+}
+
+// Property: any quantile of a log-bucketed histogram is within the relative
+// error bound of the exact nearest-rank quantile.
+func TestHistogramQuantileErrorBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		var h Histogram
+		xs := make([]float64, 0, 400)
+		for i := 0; i < 400; i++ {
+			x := math.Exp(rng.Float64()*20) * 1e-3 // spans ~9 decades
+			h.Add(x)
+			xs = append(xs, x)
+		}
+		sort.Float64s(xs)
+		for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+			idx := int(math.Ceil(q*float64(len(xs)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			exact := xs[idx]
+			got := h.Quantile(q)
+			if exact >= 1 && math.Abs(got-exact) > histRelErr*exact+1e-12 {
+				t.Fatalf("trial %d q=%v: got %v, exact %v (rel err %.3f)",
+					trial, q, got, exact, math.Abs(got-exact)/exact)
+			}
+		}
 	}
 }
 

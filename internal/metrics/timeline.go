@@ -203,8 +203,8 @@ func (b *BucketTimeline) Sum(i int) float64 {
 	return b.sum[i]
 }
 
-// Mean reports the sample mean of bucket i, or 0 for an empty bucket.
-func (b *BucketTimeline) Mean(i int) float64 {
+// BucketMean reports the sample mean of bucket i, or 0 for an empty bucket.
+func (b *BucketTimeline) BucketMean(i int) float64 {
 	if i < 0 || i >= len(b.sum) || b.cnt[i] == 0 {
 		return 0
 	}
@@ -219,9 +219,56 @@ func (b *BucketTimeline) Means() []float64 {
 	}
 	out := make([]float64, len(b.sum))
 	for i := range out {
-		out[i] = b.Mean(i)
+		out[i] = b.BucketMean(i)
 	}
 	return out
+}
+
+// Mean reports the mean of all samples across all buckets, or 0 when empty —
+// for a level-style series (utilization, queue depth) this is the run-average
+// level. Aggregate accessors live here so the analysis tier never reimplements
+// bucket arithmetic.
+func (b *BucketTimeline) Mean() float64 {
+	var sum float64
+	var cnt uint64
+	for i := range b.sum {
+		sum += b.sum[i]
+		cnt += b.cnt[i]
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// Integrate reports the time integral of the bucket-mean level series in
+// value-seconds: Σ BucketMean(i) × Width. For a utilization timeline this is
+// the busy time; for a queue-depth timeline, the total waiting (depth ×
+// seconds). Empty buckets contribute zero.
+func (b *BucketTimeline) Integrate() float64 {
+	var total float64
+	w := b.width.Seconds()
+	for i := range b.sum {
+		if b.cnt[i] == 0 {
+			continue
+		}
+		total += b.sum[i] / float64(b.cnt[i]) * w
+	}
+	return total
+}
+
+// Peak reports the largest bucket mean, or 0 when empty.
+func (b *BucketTimeline) Peak() float64 {
+	var peak float64
+	for i := range b.sum {
+		if b.cnt[i] == 0 {
+			continue
+		}
+		if m := b.sum[i] / float64(b.cnt[i]); m > peak {
+			peak = m
+		}
+	}
+	return peak
 }
 
 // Spark renders the bucket means as a sparkline of at most width characters.

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/metrics"
 )
 
 // Deterministic export ordering. Recorders register from experiment worker
@@ -62,6 +64,21 @@ func sortedGaugeNames(r *Recorder) []string {
 	return out
 }
 
+// MetricsSchema versions the metrics artifact layout. The CSV export carries
+// it as a leading "# schema:" comment line and the JSON export as a top-level
+// "schema" key; consumers (internal/analyze, cmd/xdmtrace) refuse to diff
+// artifacts whose schemas disagree. Bump it when rows/keys change shape.
+const MetricsSchema = "xdm-metrics/2"
+
+func sortedHistNames(hists map[string]*metrics.Histogram) []string {
+	out := make([]string, 0, len(hists))
+	for name := range hists {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func sortedTimelineNames(r *Recorder) []string {
 	out := make([]string, 0, len(r.timelines))
 	for name := range r.timelines {
@@ -101,6 +118,7 @@ func csvField(s string) string {
 func WriteMetricsCSV(w io.Writer) error {
 	recs := orderedRecorders()
 	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# schema: %s\n", MetricsSchema)
 	buf.WriteString("run,type,name,key,value\n")
 	for run, r := range recs {
 		r.writeMetricsCSVChunk(&buf, run)
@@ -124,6 +142,21 @@ func (r *Recorder) writeMetricsCSVChunk(buf *bytes.Buffer, run int) {
 	for _, name := range sortedGaugeNames(r) {
 		fmt.Fprintf(buf, "%d,gauge,%s,,%s\n", run, name, fmtFloat(r.gauges[name].Value))
 	}
+	hists := r.exportHists()
+	for _, name := range sortedHistNames(hists) {
+		h := hists[name]
+		fmt.Fprintf(buf, "%d,hist,%s,count,%d\n", run, name, h.Count())
+		fmt.Fprintf(buf, "%d,hist,%s,sum,%s\n", run, name, fmtFloat(h.Sum()))
+		fmt.Fprintf(buf, "%d,hist,%s,min,%s\n", run, name, fmtFloat(h.Min()))
+		fmt.Fprintf(buf, "%d,hist,%s,max,%s\n", run, name, fmtFloat(h.Max()))
+		fmt.Fprintf(buf, "%d,hist,%s,p50,%s\n", run, name, fmtFloat(h.Quantile(0.50)))
+		fmt.Fprintf(buf, "%d,hist,%s,p95,%s\n", run, name, fmtFloat(h.Quantile(0.95)))
+		fmt.Fprintf(buf, "%d,hist,%s,p99,%s\n", run, name, fmtFloat(h.Quantile(0.99)))
+		idx, counts := h.Buckets()
+		for i, bi := range idx {
+			fmt.Fprintf(buf, "%d,hist,%s,b%d,%d\n", run, name, bi, counts[i])
+		}
+	}
 	for _, name := range sortedTimelineNames(r) {
 		e := r.timelines[name]
 		fmt.Fprintf(buf, "%d,timeline,%s,width_ns,%d\n", run, name, int64(e.tl.Width()))
@@ -131,7 +164,7 @@ func (r *Recorder) writeMetricsCSVChunk(buf *bytes.Buffer, run int) {
 			if e.tl.Count(i) == 0 {
 				continue
 			}
-			v := e.tl.Mean(i)
+			v := e.tl.BucketMean(i)
 			if e.mode == ModeSum {
 				v = e.tl.Sum(i)
 			}
@@ -145,7 +178,7 @@ func (r *Recorder) writeMetricsCSVChunk(buf *bytes.Buffer, run int) {
 func WriteMetricsJSON(w io.Writer) error {
 	recs := orderedRecorders()
 	var buf bytes.Buffer
-	buf.WriteString(`{"runs":[`)
+	fmt.Fprintf(&buf, `{"schema":%q,"runs":[`, MetricsSchema)
 	for run, r := range recs {
 		if run > 0 {
 			buf.WriteByte(',')
@@ -166,7 +199,26 @@ func WriteMetricsJSON(w io.Writer) error {
 			}
 			fmt.Fprintf(&buf, `%s:%s`, jsonString(name), fmtFloat(r.gauges[name].Value))
 		}
-		buf.WriteString(`},"timelines":[`)
+		buf.WriteString(`},"hists":[`)
+		hists := r.exportHists()
+		for i, name := range sortedHistNames(hists) {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			h := hists[name]
+			fmt.Fprintf(&buf, `{"name":%s,"count":%d,"sum":%s,"min":%s,"max":%s,"p50":%s,"p95":%s,"p99":%s,"buckets":[`,
+				jsonString(name), h.Count(), fmtFloat(h.Sum()), fmtFloat(h.Min()), fmtFloat(h.Max()),
+				fmtFloat(h.Quantile(0.50)), fmtFloat(h.Quantile(0.95)), fmtFloat(h.Quantile(0.99)))
+			idx, counts := h.Buckets()
+			for j, bi := range idx {
+				if j > 0 {
+					buf.WriteByte(',')
+				}
+				fmt.Fprintf(&buf, `{"i":%d,"c":%d}`, bi, counts[j])
+			}
+			buf.WriteString(`]}`)
+		}
+		buf.WriteString(`],"timelines":[`)
 		for i, name := range sortedTimelineNames(r) {
 			if i > 0 {
 				buf.WriteByte(',')
@@ -187,7 +239,7 @@ func WriteMetricsJSON(w io.Writer) error {
 					buf.WriteByte(',')
 				}
 				wrote = true
-				v := e.tl.Mean(b)
+				v := e.tl.BucketMean(b)
 				if e.mode == ModeSum {
 					v = e.tl.Sum(b)
 				}

@@ -29,6 +29,7 @@ package obs
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/metrics"
@@ -89,6 +90,8 @@ func Attach(eng *sim.Engine) *Recorder {
 		counters:  map[string]*Counter{},
 		gauges:    map[string]*Gauge{},
 		timelines: map[string]*timelineEntry{},
+		hists:     map[string]*metrics.Histogram{},
+		spanHists: map[spanKey]*metrics.Histogram{},
 	}
 	recorders[eng] = r
 	order = append(order, r)
@@ -162,6 +165,13 @@ type timelineEntry struct {
 	tl   *metrics.BucketTimeline
 }
 
+// spanKey identifies a (track, name) span family. Using a struct key keeps
+// the per-span histogram lookup allocation-free — no string concatenation on
+// the recording hot path.
+type spanKey struct {
+	track, name string
+}
+
 // Counter is a named cumulative value owned by one recorder. Not atomic:
 // recorders belong to single-threaded engines.
 type Counter struct {
@@ -194,6 +204,9 @@ type Recorder struct {
 	counters  map[string]*Counter
 	gauges    map[string]*Gauge
 	timelines map[string]*timelineEntry
+	hists     map[string]*metrics.Histogram
+	spanHists map[spanKey]*metrics.Histogram
+	opID      uint64
 	sealFns   []func()
 	sealed    bool
 }
@@ -216,7 +229,18 @@ func (r *Recorder) Span(track, name string, start sim.Time, detail string) {
 	if start > now {
 		panic(fmt.Sprintf("obs: span %s/%s starts at %v after now %v", track, name, start, now))
 	}
-	r.record(Event{Track: track, Name: name, Kind: KindSpan, Ts: start, Dur: now.Sub(start), Detail: detail})
+	dur := now.Sub(start)
+	// Every span family also feeds a duration histogram, keyed by (track,
+	// name) so the hot path never concatenates strings. Histograms live
+	// outside the event cap: they are fixed-memory, so even when the trace
+	// buffer saturates the latency distribution stays complete.
+	h, ok := r.spanHists[spanKey{track, name}]
+	if !ok {
+		h = &metrics.Histogram{}
+		r.spanHists[spanKey{track, name}] = h
+	}
+	h.Add(float64(dur))
+	r.record(Event{Track: track, Name: name, Kind: KindSpan, Ts: start, Dur: dur, Detail: detail})
 }
 
 // Instant records a point event on track at the current virtual time.
@@ -267,6 +291,64 @@ func (r *Recorder) Timeline(name string, width sim.Duration, mode TimelineMode) 
 	e := &timelineEntry{name: name, mode: mode, tl: metrics.NewBucketTimeline(width)}
 	r.timelines[name] = e
 	return e.tl
+}
+
+// Hist returns (creating on first use) the named histogram, for explicit
+// latency-style observations that are not spans (e.g. PCIe allocation wait).
+func (r *Recorder) Hist(name string) *metrics.Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &metrics.Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// Observe records one sample into the named histogram — shorthand for
+// Hist(name).Add(v) at call sites that do not cache the handle.
+func (r *Recorder) Observe(name string, v float64) { r.Hist(name).Add(v) }
+
+// NextOpID returns the next value of the recorder's monotonically increasing
+// operation-id sequence, starting at 1. Layers thread the id through span
+// Detail fields ("op=N") so the analysis tier can correlate a swap operation
+// with the device and fabric spans it caused. Zero is reserved for "no id".
+func (r *Recorder) NextOpID() uint64 {
+	r.opID++
+	return r.opID
+}
+
+// DetailOp renders the canonical op-correlation Detail string: "op=N", or
+// "op=N s=I" when stripe >= 0. Every layer that threads an op id through its
+// spans uses this one formatter so the analysis tier parses a single shape.
+// Call sites must guard with a nil-recorder check — the string allocates.
+func DetailOp(id uint64, stripe int) string {
+	if stripe < 0 {
+		return "op=" + strconv.FormatUint(id, 10)
+	}
+	return "op=" + strconv.FormatUint(id, 10) + " s=" + strconv.Itoa(stripe)
+}
+
+// exportHists merges the recorder's histogram namespaces for export: explicit
+// Observe/Hist histograms plus the per-span-family duration histograms, the
+// latter named "<track>/<name>". A name collision between the two merges into
+// a fresh copy, leaving the originals untouched.
+func (r *Recorder) exportHists() map[string]*metrics.Histogram {
+	out := make(map[string]*metrics.Histogram, len(r.hists)+len(r.spanHists))
+	for name, h := range r.hists {
+		out[name] = h
+	}
+	for k, h := range r.spanHists {
+		name := k.track + "/" + k.name
+		if prev, ok := out[name]; ok {
+			merged := &metrics.Histogram{}
+			merged.Merge(prev)
+			merged.Merge(h)
+			out[name] = merged
+		} else {
+			out[name] = h
+		}
+	}
+	return out
 }
 
 // OnSeal registers fn to run once when the recorder seals — the place to

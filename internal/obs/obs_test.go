@@ -211,8 +211,11 @@ func TestMetricsCSVShape(t *testing.T) {
 			t.Fatal(err)
 		}
 		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-		if lines[0] != "run,type,name,key,value" {
-			t.Fatalf("header = %q", lines[0])
+		if lines[0] != "# schema: "+obs.MetricsSchema {
+			t.Fatalf("schema line = %q", lines[0])
+		}
+		if lines[1] != "run,type,name,key,value" {
+			t.Fatalf("header = %q", lines[1])
 		}
 		joined := buf.String()
 		for _, want := range []string{
@@ -367,8 +370,118 @@ func TestObserveStation(t *testing.T) {
 		// Three arrivals at t=0 with one server: the first goes straight into
 		// service, so observed waiting depths are 0, 0, 1 — mean 1/3.
 		q := r.Timeline("stage/queue", obs.DefaultTimelineWidth, obs.ModeMean)
-		if got := q.Mean(0); got != 1.0/3.0 {
+		if got := q.BucketMean(0); got != 1.0/3.0 {
 			t.Errorf("queue depth mean = %g, want 1/3", got)
+		}
+	})
+}
+
+func TestRecorderHistogramsAndOpIDs(t *testing.T) {
+	withCapture(t, func() {
+		eng := sim.NewEngine()
+		r := obs.Rec(eng)
+
+		// Op ids are monotone from 1; 0 stays reserved for "no id".
+		if a, b := r.NextOpID(), r.NextOpID(); a != 1 || b != 2 {
+			t.Fatalf("NextOpID sequence = %d,%d, want 1,2", a, b)
+		}
+
+		// Explicit histograms: Observe is shorthand for Hist().Add().
+		r.Observe("pcie/alloc-wait", 100)
+		r.Observe("pcie/alloc-wait", 300)
+		r.Hist("pcie/alloc-wait").Add(300)
+		if got := r.Hist("pcie/alloc-wait").Count(); got != 3 {
+			t.Fatalf("hist count = %d, want 3", got)
+		}
+
+		// Every span family feeds a duration histogram automatically.
+		eng.After(10*sim.Microsecond, func() { r.Span("dev/x", "read", 0, "") })
+		eng.After(20*sim.Microsecond, func() { r.Span("dev/x", "read", 0, "") })
+		eng.Run()
+
+		var cb bytes.Buffer
+		if err := obs.WriteMetricsCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{
+			"0,hist,pcie/alloc-wait,count,3",
+			"0,hist,pcie/alloc-wait,min,100",
+			"0,hist,pcie/alloc-wait,max,300",
+			"0,hist,pcie/alloc-wait,sum,700",
+			"0,hist,dev/x/read,count,2",
+			"0,hist,dev/x/read,min,10000",
+			"0,hist,dev/x/read,max,20000",
+		} {
+			if !strings.Contains(cb.String(), want+"\n") {
+				t.Errorf("missing CSV row %q in:\n%s", want, cb.String())
+			}
+		}
+
+		var mb bytes.Buffer
+		if err := obs.WriteMetricsJSON(&mb); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Schema string `json:"schema"`
+			Runs   []struct {
+				Hists []struct {
+					Name    string  `json:"name"`
+					Count   int     `json:"count"`
+					Sum     float64 `json:"sum"`
+					Min     float64 `json:"min"`
+					Max     float64 `json:"max"`
+					P50     float64 `json:"p50"`
+					P99     float64 `json:"p99"`
+					Buckets []struct {
+						I int    `json:"i"`
+						C uint64 `json:"c"`
+					} `json:"buckets"`
+				} `json:"hists"`
+			} `json:"runs"`
+		}
+		if err := json.Unmarshal(mb.Bytes(), &doc); err != nil {
+			t.Fatalf("metrics JSON does not parse: %v\n%s", err, mb.String())
+		}
+		if doc.Schema != obs.MetricsSchema {
+			t.Errorf("schema = %q, want %q", doc.Schema, obs.MetricsSchema)
+		}
+		if len(doc.Runs) != 1 || len(doc.Runs[0].Hists) != 2 {
+			t.Fatalf("runs/hists shape = %+v", doc.Runs)
+		}
+		devx := doc.Runs[0].Hists[0]
+		if devx.Name != "dev/x/read" || devx.Count != 2 || devx.Min != 10000 || devx.Max != 20000 {
+			t.Errorf("dev/x/read hist = %+v", devx)
+		}
+		if devx.Sum != 30000 {
+			t.Errorf("dev/x/read sum = %g, want 30000", devx.Sum)
+		}
+		if len(devx.Buckets) == 0 {
+			t.Errorf("dev/x/read exported no buckets")
+		}
+		// Quantiles carry the log-bucket relative error bound.
+		if devx.P99 < 20000*(1-1.0/32) || devx.P99 > 20000 {
+			t.Errorf("p99 = %g, want ≈20000", devx.P99)
+		}
+	})
+}
+
+func TestStationWaitHistogram(t *testing.T) {
+	withCapture(t, func() {
+		eng := sim.NewEngine()
+		r := obs.Rec(eng)
+		st := sim.NewStation(eng, 1)
+		obs.ObserveStation(r, st, "stage")
+		for i := 0; i < 3; i++ {
+			st.Submit(sim.Millisecond, nil)
+		}
+		eng.Run()
+		h := r.Hist("stage/wait")
+		if h.Count() != 3 {
+			t.Fatalf("wait hist count = %d, want 3", h.Count())
+		}
+		// Waits with one server and three simultaneous 1ms jobs: 0, 1ms, 2ms.
+		if h.Min() != 0 || h.Max() != float64(2*sim.Millisecond) {
+			t.Errorf("wait hist min/max = %g/%g, want 0/2e6", h.Min(), h.Max())
 		}
 	})
 }

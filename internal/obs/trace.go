@@ -123,7 +123,7 @@ func (r *Recorder) writeTraceChunk(buf *bytes.Buffer, pid int) {
 			if e.tl.Count(i) == 0 {
 				continue
 			}
-			v := e.tl.Mean(i)
+			v := e.tl.BucketMean(i)
 			if e.mode == ModeSum {
 				v = e.tl.Sum(i)
 			}

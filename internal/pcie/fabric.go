@@ -84,6 +84,14 @@ type Flow struct {
 	done      func(at sim.Time)
 	frozen    bool // scratch during recompute
 	finished  bool
+
+	// Observability (populated only when the fabric is recorded): start
+	// stamp and the ideal uncontended duration — size over the narrowest
+	// capacity on the path (and the flow cap). The difference between actual
+	// and ideal duration is the time lost to bandwidth arbitration, exported
+	// as the pcie/alloc-wait histogram.
+	start sim.Time
+	ideal sim.Duration
 }
 
 // Rate reports the flow's current fair-share rate in bytes/sec.
@@ -151,6 +159,21 @@ func (fb *Fabric) TransferCapped(size int64, rateCap units.BytesPerSec, path []*
 		panic("pcie: transfer with empty path")
 	}
 	f := &Flow{path: path, remaining: float64(size), size: float64(size), cap: float64(rateCap), done: done}
+	if fb.rec != nil {
+		f.start = fb.eng.Now()
+		minCap := math.Inf(1)
+		for _, l := range path {
+			if l.capacity > 0 && l.capacity < minCap {
+				minCap = l.capacity
+			}
+		}
+		if f.cap > 0 && f.cap < minCap {
+			minCap = f.cap
+		}
+		if f.size > 0 && !math.IsInf(minCap, 1) {
+			f.ideal = sim.Duration(f.size / minCap * float64(sim.Second))
+		}
+	}
 	if f.remaining <= 0 {
 		f.finished = true
 		if done != nil {
@@ -351,6 +374,16 @@ func (fb *Fabric) onCompletion() {
 	fb.rebalance()
 	now := fb.eng.Now()
 	for _, f := range completed {
+		if fb.rec != nil && f.ideal > 0 {
+			// Allocation wait: how much longer the transfer took than it
+			// would have alone on its narrowest link. Completion rounds up
+			// to whole nanoseconds, so clamp tiny negatives to zero.
+			wait := now.Sub(f.start) - f.ideal
+			if wait < 0 {
+				wait = 0
+			}
+			fb.rec.Observe("pcie/alloc-wait", float64(wait))
+		}
 		if f.done != nil {
 			f.done(now)
 		}

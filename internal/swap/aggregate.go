@@ -116,7 +116,7 @@ func (a *AggregateBackend) Submit(ex Extent, done func(lat sim.Duration)) {
 		if i < extra {
 			pages++
 		}
-		m.Submit(Extent{Pages: pages, Write: ex.Write, Sequential: ex.Sequential}, finish)
+		m.Submit(Extent{Pages: pages, Write: ex.Write, Sequential: ex.Sequential, OpID: ex.OpID}, finish)
 	}
 }
 

@@ -16,6 +16,7 @@ package swap
 
 import (
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -26,6 +27,11 @@ type Extent struct {
 	Pages      int
 	Write      bool
 	Sequential bool
+
+	// OpID is the observability correlation id assigned by the path at
+	// submit time (0 when tracing is off). Backends thread it into device
+	// ops so a swap operation's spans can be stitched across layers.
+	OpID uint64
 }
 
 // Bytes reports the extent's payload size.
@@ -104,6 +110,10 @@ type DeviceBackend struct {
 	// pending counts extents submitted but not yet completed, for
 	// least-loaded routing in AggregateBackend.
 	pending int
+
+	// Observability handle, resolved once at construction (nil when off).
+	rec   *obs.Recorder
+	track string
 }
 
 // Pending reports extents in flight on this backend.
@@ -111,7 +121,14 @@ func (b *DeviceBackend) Pending() int { return b.pending }
 
 // NewDeviceBackend wraps dev as a swap backend.
 func NewDeviceBackend(eng *sim.Engine, dev *device.Device) *DeviceBackend {
-	return &DeviceBackend{eng: eng, dev: dev}
+	b := &DeviceBackend{eng: eng, dev: dev}
+	if obs.On {
+		if r := obs.Rec(eng); r != nil {
+			b.rec = r
+			b.track = "dev/" + dev.Name()
+		}
+	}
+	return b
 }
 
 // Device exposes the wrapped device for stats inspection.
@@ -200,6 +217,11 @@ func (b *DeviceBackend) SubmitResult(ex Extent, done func(lat sim.Duration, err 
 		}
 	}
 	b.eng.After(mgmt, func() {
+		// The issue span covers the per-width management overhead paid
+		// before any stripe reaches the device.
+		if b.rec != nil && ex.OpID != 0 {
+			b.rec.Span(b.track, "issue", start, obs.DetailOp(ex.OpID, -1))
+		}
 		for i := 0; i < stripes; i++ {
 			pages := base
 			if i < extra {
@@ -211,6 +233,8 @@ func (b *DeviceBackend) SubmitResult(ex Extent, done func(lat sim.Duration, err 
 				// Striped sub-ops of a sequential extent remain sequential
 				// within their channel; random extents stay random.
 				Sequential: ex.Sequential,
+				ID:         ex.OpID,
+				Stripe:     i,
 			}
 			b.dev.SubmitResult(op, finish)
 		}

@@ -196,6 +196,12 @@ func (p *Path) SwapOut(ex Extent, done func(lat sim.Duration)) {
 
 func (p *Path) submit(ex Extent, done func(lat sim.Duration)) {
 	start := p.eng.Now()
+	if p.rec != nil {
+		// Correlation id for this swap op: threaded through the backend into
+		// device spans ("op=N" Detail) so the analysis tier can reassemble
+		// the exact stage breakdown of each operation.
+		ex.OpID = p.rec.NextOpID()
+	}
 	finish := func() {
 		lat := p.eng.Now().Sub(start)
 		if ex.Write {
@@ -211,7 +217,7 @@ func (p *Path) submit(ex Extent, done func(lat sim.Duration)) {
 			if ex.Write {
 				name = "swapout"
 			}
-			p.rec.Span(p.track, name, start, "")
+			p.rec.Span(p.track, name, start, obs.DetailOp(ex.OpID, -1))
 		}
 		if done != nil {
 			done(lat)
@@ -223,12 +229,22 @@ func (p *Path) submit(ex Extent, done func(lat sim.Duration)) {
 	// contend at the device and, on hierarchical paths, at the host stage.
 	if ex.Write {
 		p.eng.After(FrontendOverhead, func() {
+			if p.rec != nil {
+				p.rec.Span(p.track, "stage/frontend", start, obs.DetailOp(ex.OpID, -1))
+			}
 			p.dispatch(ex, finish)
 		})
 		return
 	}
 	p.channel.Enter(func() {
+		admitted := p.eng.Now()
+		if p.rec != nil {
+			p.rec.Span(p.track, "stage/queue", start, obs.DetailOp(ex.OpID, -1))
+		}
 		p.eng.After(FrontendOverhead, func() {
+			if p.rec != nil {
+				p.rec.Span(p.track, "stage/frontend", admitted, obs.DetailOp(ex.OpID, -1))
+			}
 			p.dispatch(ex, func() {
 				p.channel.Leave()
 				finish()
@@ -247,7 +263,13 @@ func (p *Path) dispatch(ex Extent, done func()) {
 	// Hierarchical: host hop (shared stage) + per-page copy, then the host
 	// performs the device operation.
 	hostWork := HostHopOverhead + sim.Duration(ex.Pages)*HostCopyPerPage
+	hostStart := p.eng.Now()
 	p.hostStage.station.Submit(hostWork, func(sim.Duration) {
+		// The host-copy stage span covers the full host sojourn: queueing
+		// for a host swap worker plus the hop and per-page copy work.
+		if p.rec != nil {
+			p.rec.Span(p.track, "stage/host-copy", hostStart, obs.DetailOp(ex.OpID, -1))
+		}
 		p.send(ex, done)
 	})
 }
