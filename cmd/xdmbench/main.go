@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/invariant"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 // perExpFile derives the per-experiment output file from a stem path:
@@ -70,6 +71,8 @@ func main() {
 			"per-experiment latency-summary JSON stem (xdm-latency-summary/1, diffable with xdmtrace)")
 		only = flag.String("only", "",
 			"comma-separated experiment ids to run (default: all)")
+		capacity = flag.Bool("capacity", false,
+			"run the open-loop capacity sweep (static vs xdm) instead of the evaluation grid")
 	)
 	flag.Parse()
 
@@ -89,6 +92,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xdmbench: -workers must be a positive integer (got %d)\n", *workers)
 		os.Exit(2)
 	}
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "xdmbench: -scale must be a positive integer (got %d)\n", *scale)
+		os.Exit(2)
+	}
+	if *seed < 0 {
+		fmt.Fprintf(os.Stderr, "xdmbench: -seed must be non-negative (got %d)\n", *seed)
+		os.Exit(2)
+	}
+	if *capacity && (*only != "" || *traceOut != "" || *metricsOut != "" || *latencyOut != "") {
+		fmt.Fprintln(os.Stderr, "xdmbench: -capacity cannot be combined with -only/-trace/-metrics/-latency")
+		fmt.Fprintln(os.Stderr, "usage: xdmbench -capacity [-o file] [-scale N] [-seed N] [-workers N]")
+		os.Exit(2)
+	}
 
 	var w io.Writer = os.Stdout
 	var f *os.File
@@ -101,6 +117,19 @@ func main() {
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *capacity {
+		opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
+		start := time.Now()
+		fmt.Fprintf(w, "xDM open-loop capacity sweep (scale=%d seed=%d)\n\n", *scale, *seed)
+		fmt.Fprint(w, serve.RenderCapacity(serve.SweepGrid(experiments.ServingSweeps(opts), *workers)))
+		fmt.Fprintf(os.Stderr, "[capacity sweep done in %v with %d workers]\n",
+			time.Since(start).Round(time.Millisecond), *workers)
+		if f != nil {
+			fmt.Fprintf(os.Stderr, "results written to %s\n", *out)
+		}
+		return
 	}
 
 	ids := experiments.IDs()

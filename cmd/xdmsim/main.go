@@ -7,16 +7,19 @@
 //	xdmsim -exp tab6 [-scale 1] [-seed 1]
 //	xdmsim -exp all
 //	xdmsim -custom myspecs.json
+//	xdmsim -serve poisson:400 [-slo 100ms] [-duration 5s]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/invariant"
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -37,6 +40,13 @@ func main() {
 		scale  = flag.Int("scale", 1, "fidelity divisor: 1 = full workload sizes, larger = faster")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
+
+		serveSpec = flag.String("serve", "",
+			"open-loop serving mode: arrival spec (poisson:RPS | diurnal:RPS:AMP:PERIOD_S | flash:RPS:MULT:AT_S:FOR_S | trace:2017|2018:PEAK_RPS)")
+		serveSLO = flag.Duration("slo", 100*time.Millisecond,
+			"placement-delay SLO for -serve (must be > 0)")
+		serveFor = flag.Duration("duration", 5*time.Second,
+			"virtual arrival window for -serve (must be > 0; a drain of one quarter follows)")
 
 		workers = flag.Int("workers", experiments.DefaultWorkers(),
 			"worker goroutines per experiment grid (output is identical for any count)")
@@ -69,6 +79,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xdmsim: -workers must be a positive integer (got %d)\n", *workers)
 		fmt.Fprintln(os.Stderr, "usage: xdmsim -exp <id>|all | -custom specs.json [-scale N] [-seed N] [-workers N]; -list shows ids")
 		os.Exit(2)
+	}
+
+	const serveUsage = "usage: xdmsim -serve <arrival-spec> [-slo 100ms] [-duration 5s] [-scale N] [-seed N]"
+	var serveArr workload.ArrivalProcess
+	if *serveSpec != "" {
+		if *exp != "" || *custom != "" {
+			fmt.Fprintln(os.Stderr, "xdmsim: -serve cannot be combined with -exp or -custom")
+			fmt.Fprintln(os.Stderr, serveUsage)
+			os.Exit(2)
+		}
+		if *serveSLO <= 0 {
+			fmt.Fprintf(os.Stderr, "xdmsim: -slo must be a positive duration (got %v)\n", *serveSLO)
+			fmt.Fprintln(os.Stderr, serveUsage)
+			os.Exit(2)
+		}
+		if *serveFor <= 0 {
+			fmt.Fprintf(os.Stderr, "xdmsim: -duration must be a positive duration (got %v)\n", *serveFor)
+			fmt.Fprintln(os.Stderr, serveUsage)
+			os.Exit(2)
+		}
+		arr, err := workload.ParseArrival(*serveSpec, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xdmsim:", err)
+			fmt.Fprintln(os.Stderr, serveUsage)
+			os.Exit(2)
+		}
+		serveArr = arr
 	}
 
 	observing := *traceOut != "" || *metricsOut != ""
@@ -119,6 +156,13 @@ func main() {
 		return
 	}
 	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
+	if serveArr != nil {
+		for _, tb := range experiments.ServingOnce(opts, serveArr, sim.Duration(*serveSLO), sim.Duration(*serveFor)) {
+			tb.Render(os.Stdout)
+		}
+		writeObs()
+		return
+	}
 	if *custom != "" {
 		f, err := os.Open(*custom)
 		if err != nil {
@@ -138,7 +182,7 @@ func main() {
 		return
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "usage: xdmsim -exp <id>|all | -custom specs.json [-scale N] [-seed N]; -list shows ids")
+		fmt.Fprintln(os.Stderr, "usage: xdmsim -exp <id>|all | -custom specs.json | -serve <arrival-spec> [-scale N] [-seed N]; -list shows ids")
 		os.Exit(2)
 	}
 	if *exp == "all" {

@@ -3,6 +3,7 @@ package repro
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -539,6 +540,134 @@ func TestXdmtraceValidation(t *testing.T) {
 				t.Errorf("stderr missing %q:\n%s", c.wantMsg, stderr.String())
 			}
 		})
+	}
+}
+
+// TestXdmsimServe drives the open-loop serving mode: a summary table on
+// stdout, byte-identical across reruns, with exit-2 validation on every bad
+// flag the ISSUE names (bad arrival spec, negative RPS, SLO <= 0).
+func TestXdmsimServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs a serving window")
+	}
+	bin := buildCmd(t, t.TempDir(), "xdmsim")
+
+	run := func() string {
+		out, err := exec.Command(bin, "-serve", "flash:100:4:1:1",
+			"-slo", "100ms", "-duration", "3s", "-scale", "8", "-seed", "3").Output()
+		if err != nil {
+			t.Fatalf("-serve: %v", err)
+		}
+		return string(out)
+	}
+	first := run()
+	for _, want := range []string{"open-loop serving", "offered", "admitted",
+		"goodput", "placement delay p50/p95/p99", "breaker opens/closes"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("serve output missing %q:\n%s", want, first)
+		}
+	}
+	if second := run(); second != first {
+		t.Fatalf("same seed produced different serve output:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bad arrival kind", []string{"-serve", "bogus:100"}},
+		{"negative rps", []string{"-serve", "poisson:-5"}},
+		{"malformed rps", []string{"-serve", "poisson:fast"}},
+		{"zero slo", []string{"-serve", "poisson:100", "-slo", "0s"}},
+		{"negative slo", []string{"-serve", "poisson:100", "-slo", "-10ms"}},
+		{"zero duration", []string{"-serve", "poisson:100", "-duration", "0s"}},
+		{"serve with exp", []string{"-serve", "poisson:100", "-exp", "fig3"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cmd := exec.Command(bin, c.args...)
+			var stderr strings.Builder
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 2 {
+				t.Fatalf("%v exited %v, want exit code 2", c.args, err)
+			}
+			if !strings.Contains(stderr.String(), "usage:") {
+				t.Errorf("stderr missing usage line:\n%s", stderr.String())
+			}
+		})
+	}
+}
+
+// TestXdmbenchCapacity runs the automated capacity sweep end to end: the
+// ramp must find the knee (OVERLOAD verdict plus a finite max) for both
+// configurations, xdm must sustain more than static, and the report must be
+// byte-identical at -workers 1 and 8.
+func TestXdmbenchCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs the capacity ramps")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "xdmbench")
+
+	run := func(workers string) string {
+		outFile := filepath.Join(dir, "cap."+workers+".txt")
+		if out, err := exec.Command(bin, "-capacity", "-scale", "8",
+			"-workers", workers, "-o", outFile).CombinedOutput(); err != nil {
+			t.Fatalf("-capacity -workers %s: %v\n%s", workers, err, out)
+		}
+		data, err := os.ReadFile(outFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	report := run("1")
+	for _, want := range []string{"## capacity: static-ssd", "## capacity: xdm",
+		"OVERLOAD", "max sustainable:"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("capacity report missing %q:\n%s", want, report)
+		}
+	}
+	// Both knees are finite and xdm's is strictly higher: parse the
+	// "max sustainable: N req/s" line under each section.
+	knee := func(section string) float64 {
+		i := strings.Index(report, "## capacity: "+section)
+		if i < 0 {
+			t.Fatalf("no section %q", section)
+		}
+		rest := report[i:]
+		j := strings.Index(rest, "max sustainable: ")
+		if j < 0 {
+			t.Fatalf("section %q has no max sustainable line", section)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(rest[j:], "max sustainable: %f req/s", &v); err != nil {
+			t.Fatalf("section %q: unparseable knee: %v", section, err)
+		}
+		return v
+	}
+	s, x := knee("static-ssd"), knee("xdm")
+	if s <= 0 || x <= 0 || x <= s {
+		t.Errorf("knees static=%.1f xdm=%.1f; want both finite nonzero and xdm strictly higher", s, x)
+	}
+	if parallel := run("8"); parallel != report {
+		t.Fatal("capacity report differs between -workers 1 and -workers 8")
+	}
+
+	// -capacity conflicts with the evaluation-grid output flags.
+	cmd := exec.Command(bin, "-capacity", "-only", "tab6")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("-capacity -only exited %v, want exit code 2", err)
+	}
+	if !strings.Contains(stderr.String(), "cannot be combined") {
+		t.Errorf("stderr missing diagnostic:\n%s", stderr.String())
 	}
 }
 

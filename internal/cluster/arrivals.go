@@ -31,12 +31,38 @@ type ArrivalSimResult struct {
 	Completed int
 	// Switches counts backend switches performed across the fleet.
 	Switches uint64
-	// MeanPlacementDelay is submission → VM-ready.
+	// MeanPlacementDelay is the mean placement delay over DelaySamples.
+	//
+	// Placement delay is defined as submission → VM-ready: the span from
+	// the instant an app arrives to the instant its hosting VM is ready to
+	// run it (immediately for warm placements, after the switch or boot
+	// otherwise). Each app contributes exactly one sample, on the first
+	// placement that reaches VM-ready — a redispatch after a failure does
+	// not restart or re-count the measurement. Rejected apps never reach
+	// VM-ready and contribute no sample (they are visible in Rejected, not
+	// silently folded into the mean).
 	MeanPlacementDelay sim.Duration
+	// DelaySamples is the number of apps measured into MeanPlacementDelay.
+	DelaySamples int
 	// Makespan is submission of the first app → last completion.
 	Makespan sim.Duration
 	// FleetSize is the number of VMs alive at the end.
 	FleetSize int
+}
+
+// readyOnce wraps a placement-ready callback so it forwards at most once.
+// Dispatch fires ready exactly once per call, but an app that is
+// re-dispatched after a failure passes the same callback to Dispatch again
+// — without the guard its placement delay would be double-counted.
+func readyOnce(fn func(Placement)) func(Placement) {
+	fired := false
+	return func(pl Placement) {
+		if fired {
+			return
+		}
+		fired = true
+		fn(pl)
+	}
 }
 
 // RunArrivalSim executes the arrival stream against env's machine. The
@@ -60,7 +86,7 @@ func RunArrivalSim(env baseline.Env, cfg ArrivalSimConfig) ArrivalSimResult {
 		app.Seed = cfg.Seed + int64(i)
 		submitted := eng.Now()
 
-		d.Dispatch(app, func(pl Placement) {
+		d.Dispatch(app, readyOnce(func(pl Placement) {
 			delaySum += eng.Now().Sub(submitted)
 			delayed++
 			// Run the app on its VM's active backend with the console's
@@ -73,7 +99,7 @@ func RunArrivalSim(env baseline.Env, cfg ArrivalSimConfig) ArrivalSimResult {
 				res.Completed++
 				d.Release(pl)
 			})
-		})
+		}))
 		// Schedule the next arrival.
 		gap := sim.Duration(rng.ExpFloat64() * float64(cfg.MeanInterarrival))
 		if gap < 1 {
@@ -86,6 +112,7 @@ func RunArrivalSim(env baseline.Env, cfg ArrivalSimConfig) ArrivalSimResult {
 
 	res.Placed = d.Placed
 	res.Rejected = d.Rejected
+	res.DelaySamples = delayed
 	if delayed > 0 {
 		res.MeanPlacementDelay = delaySum / sim.Duration(delayed)
 	}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/device"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// tinyEnv is a machine so small that VM creation fails once a couple of VMs
+// exist, forcing arrival rejections.
+func tinyEnv(eng *sim.Engine) baseline.Env {
+	m := vm.NewMachine(eng, pcie.Gen3, 16, 4, 6000)
+	m.AttachDevice(device.SpecTestbedSSD("ssd"))
+	return baseline.Env{Machine: m, FileBackend: "ssd"}
+}
+
+// TestArrivalSimRejectedAppsNotInDelay is the regression test for the
+// placement-delay definition: rejected apps (no VM-ready instant exists)
+// must contribute no sample, and every placed app contributes exactly one —
+// DelaySamples must equal the number of placements, never the number of
+// arrivals.
+func TestArrivalSimRejectedAppsNotInDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	env := tinyEnv(eng)
+	res := RunArrivalSim(env, ArrivalSimConfig{
+		Templates:        []App{{Spec: friendlySpec(), SLO: 1.6, Cores: 1}},
+		Arrivals:         16,
+		MeanInterarrival: 1 * sim.Millisecond,
+		Seed:             11,
+	})
+	if res.Rejected == 0 {
+		t.Fatal("scenario did not produce rejections; shrink the machine")
+	}
+	placed := 0
+	for _, n := range res.Placed {
+		placed += n
+	}
+	if placed+res.Rejected != 16 {
+		t.Fatalf("placement accounting: %d placed + %d rejected != 16", placed, res.Rejected)
+	}
+	if res.DelaySamples != placed {
+		t.Fatalf("delay samples %d != placed %d (rejected apps leaked into the mean, or placed apps were skipped)",
+			res.DelaySamples, placed)
+	}
+	if res.MeanPlacementDelay < 0 {
+		t.Fatalf("negative mean placement delay %v", res.MeanPlacementDelay)
+	}
+}
+
+// TestReadyOnceGuardsRedispatch proves the double-count hazard the guard
+// exists for: an app re-dispatched after a failure passes the same ready
+// callback to Dispatch a second time; without readyOnce the app's placement
+// delay would be measured twice (the second time spanning submission →
+// second VM-ready, inflating both the sample count and the sum).
+func TestReadyOnceGuardsRedispatch(t *testing.T) {
+	eng := sim.NewEngine()
+	env := clusterEnv(eng)
+	for _, name := range env.Machine.BackendNames() {
+		env.Machine.CreateVM("vm-"+name, 4, 4096, []string{name}, nil)
+	}
+	eng.Run()
+
+	d := NewDispatcher(env)
+	app := App{Spec: friendlySpec(), SLO: 1.4, Seed: 1, Cores: 1}
+
+	samples := 0
+	ready := readyOnce(func(Placement) { samples++ })
+	first := d.Dispatch(app, ready)
+	eng.Run()
+	if first.Via == ViaNone {
+		t.Fatal("first dispatch failed")
+	}
+	if samples != 1 {
+		t.Fatalf("samples after first placement: %d", samples)
+	}
+	// The placement's backend fails; the app is re-dispatched with the
+	// same callback, exactly as a failure-recovery loop would do.
+	second := d.Redispatch(app, first, ready)
+	eng.Run()
+	if second.Via == ViaNone {
+		t.Fatal("redispatch failed")
+	}
+	if samples != 1 {
+		t.Fatalf("redispatch double-counted the delay sample: %d samples", samples)
+	}
+	if d.Redispatched != 1 {
+		t.Fatalf("redispatch counter %d", d.Redispatched)
+	}
+}
+
+// TestDispatcherMaxTasksPerVM pins the serving-mode concurrency bound: with
+// MaxTasksPerVM set, a VM at the bound stops accepting placements, and with
+// no other capacity the dispatch is refused instead of oversubscribing.
+func TestDispatcherMaxTasksPerVM(t *testing.T) {
+	eng := sim.NewEngine()
+	m := vm.NewMachine(eng, pcie.Gen3, 16, 4, 6000)
+	m.AttachDevice(device.SpecTestbedSSD("ssd"))
+	env := baseline.Env{Machine: m, FileBackend: "ssd"}
+	m.CreateVM("only", 4, 4096, []string{"ssd"}, nil)
+	eng.Run()
+
+	d := NewDispatcher(env)
+	d.MaxTasksPerVM = 2
+	app := App{Spec: friendlySpec(), SLO: 1.6, Cores: 1}
+	p1 := d.Dispatch(app, nil)
+	p2 := d.Dispatch(app, nil)
+	if p1.Via == ViaNone || p2.Via == ViaNone {
+		t.Fatalf("first two placements refused: %v, %v", p1.Via, p2.Via)
+	}
+	if p1.VM != p2.VM {
+		t.Fatal("expected both tasks on the single VM")
+	}
+	// Third task: the sole VM is at its bound and the host has no room for
+	// another VM → refused.
+	p3 := d.Dispatch(app, nil)
+	if p3.Via != ViaNone {
+		t.Fatalf("third placement via %v, want refusal at the concurrency bound", p3.Via)
+	}
+	// Releasing one task re-opens the slot.
+	d.Release(p1)
+	p4 := d.Dispatch(app, nil)
+	if p4.Via == ViaNone {
+		t.Fatal("placement refused after a slot freed")
+	}
+}
+
+// TestDispatcherGateExcludesBackend pins the breaker hook: a gate returning
+// false for a backend removes it from selection exactly like pressure.
+func TestDispatcherGateExcludesBackend(t *testing.T) {
+	eng := sim.NewEngine()
+	env := clusterEnv(eng)
+	for _, name := range env.Machine.BackendNames() {
+		env.Machine.CreateVM("vm-"+name, 4, 4096, []string{name}, nil)
+	}
+	eng.Run()
+
+	d := NewDispatcher(env)
+	app := App{Spec: friendlySpec(), SLO: 1.4, Seed: 1, Cores: 1}
+	chosen := d.Dispatch(app, nil).Decision.Backend
+	if chosen == "" {
+		t.Fatal("ungated dispatch failed")
+	}
+
+	// Gate out the chosen backend; the next dispatch must land elsewhere.
+	d2 := NewDispatcher(env)
+	d2.Gate = func(b string) bool { return b != chosen }
+	p := d2.Dispatch(app, nil)
+	if p.Via == ViaNone {
+		t.Fatal("gated dispatch failed outright")
+	}
+	if p.Decision.Backend == chosen {
+		t.Fatalf("gated backend %q was still selected", chosen)
+	}
+
+	// Gate everything out: selection has no candidates at all.
+	d3 := NewDispatcher(env)
+	d3.Gate = func(string) bool { return false }
+	if p := d3.Dispatch(app, nil); p.Via != ViaNone {
+		t.Fatalf("fully gated dispatch placed via %v", p.Via)
+	}
+	if d3.Rejected != 1 {
+		t.Fatalf("rejection not counted: %d", d3.Rejected)
+	}
+}

@@ -58,6 +58,20 @@ type Dispatcher struct {
 	Env  baseline.Env
 	opts []core.BackendOption
 
+	// Gate, when set, is consulted per backend during selection; a false
+	// return removes the backend from the candidate set exactly like
+	// system pressure does. The serving loop installs its circuit
+	// breakers here, so an open circuit stops new placements without the
+	// dispatcher knowing anything about breaker state machines.
+	Gate func(backend string) bool
+
+	// MaxTasksPerVM, when positive, bounds how many tasks may run
+	// concurrently on one VM. Algorithm 1's closed-loop grids leave it
+	// zero (unbounded, the paper's setting); an open-loop server sets it
+	// so that offered load beyond fleet capacity queues at the front door
+	// instead of piling onto the fleet and stretching every task.
+	MaxTasksPerVM int
+
 	// Stats per branch.
 	Placed       map[PlacementKind]int
 	Rejected     int
@@ -89,7 +103,23 @@ func (d *Dispatcher) systemPressure() []core.BackendOption {
 			opts[i].Available = false
 		}
 	}
+	if d.Gate != nil {
+		for i := range opts {
+			if opts[i].Available && !d.Gate(opts[i].Name) {
+				opts[i].Available = false
+			}
+		}
+	}
 	return opts
+}
+
+// accepts reports whether v can host app under the dispatcher's
+// concurrency bound.
+func (d *Dispatcher) accepts(v *vm.VM, app App) bool {
+	if d.MaxTasksPerVM > 0 && v.ActiveTasks >= d.MaxTasksPerVM {
+		return false
+	}
+	return v.Accept(app.Cores, app.Spec.FootprintPages)
 }
 
 // vmPages is the default VM memory size in pages (footprint-scaled).
@@ -134,7 +164,7 @@ func (d *Dispatcher) Dispatch(app App, ready func(Placement)) Placement {
 
 	// Lines 5-9: prefer an online VM already on the chosen backend.
 	for _, v := range d.Env.Machine.VMs() {
-		if v.State() == vm.Online && v.ActiveBackend() == backend && v.Accept(app.Cores, app.Spec.FootprintPages) {
+		if v.State() == vm.Online && v.ActiveBackend() == backend && d.accepts(v, app) {
 			p := finish(v, ViaOnlineVM)
 			if ready != nil {
 				d.Env.Machine.Eng.Immediately(func() { ready(p) })
@@ -144,7 +174,7 @@ func (d *Dispatcher) Dispatch(app App, ready func(Placement)) Placement {
 	}
 	// Lines 11-15: a free VM already on the backend (warm start).
 	for _, v := range d.Env.Machine.VMs() {
-		if v.State() == vm.Free && v.ActiveBackend() == backend && v.Accept(app.Cores, app.Spec.FootprintPages) {
+		if v.State() == vm.Free && v.ActiveBackend() == backend && d.accepts(v, app) {
 			p := finish(v, ViaFreeVM)
 			if ready != nil {
 				d.Env.Machine.Eng.Immediately(func() { ready(p) })
@@ -154,7 +184,7 @@ func (d *Dispatcher) Dispatch(app App, ready func(Placement)) Placement {
 	}
 	// Lines 16-20: switch an idle VM to the preferred backend.
 	for _, v := range d.Env.Machine.VMs() {
-		if v.State() == vm.Free && v.Accept(app.Cores, app.Spec.FootprintPages) {
+		if v.State() == vm.Free && d.accepts(v, app) {
 			var p Placement
 			err := v.SwitchBackend(backend, func() {
 				if ready != nil {

@@ -51,8 +51,9 @@ func TestExperimentsDeterministic(t *testing.T) {
 // never leak into output. Exercised under -race by CI.
 func TestParallelWorkersDeterministic(t *testing.T) {
 	// fig16 regressed once via map-ordered Machine.BackendNames — keep it in
-	// this list.
-	for _, id := range []string{"fig5a", "fig16", "fig17", "ablation"} {
+	// this list. serving is the open-loop sweep: its breaker backoff and
+	// arrival trains are seeded per-cell and must not share global state.
+	for _, id := range []string{"fig5a", "fig16", "fig17", "ablation", "serving"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

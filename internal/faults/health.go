@@ -10,6 +10,15 @@ package faults
 // The window decays by halving counts when full, so a long healthy history
 // cannot mask a sudden failure burst, and a recovered backend does not stay
 // condemned by ancient errors if the monitor is Reset and reused.
+//
+// Concurrency contract: a Monitor is single-goroutine, like everything else
+// that runs inside one sim.Engine — Record, Reset, and the accessors must
+// all be called from engine context (event callbacks of the engine that owns
+// the swap path feeding it). The counters are plain ints on purpose; there
+// is no interior locking. Control loops that sample health (the serving
+// loop's circuit breakers) must read through Snapshot, which captures every
+// counter in one engine-context call, rather than making a sequence of
+// accessor calls interleaved with Records.
 type Monitor struct {
 	// Backend labels the monitored backend in logs and tables.
 	Backend string
@@ -95,8 +104,46 @@ func (m *Monitor) Successes() uint64 { return m.successes }
 // Failures reports total ops recorded as failed.
 func (m *Monitor) Failures() uint64 { return m.failures }
 
-// Reset clears window state and the unhealthy latch so the monitor can be
-// re-armed (e.g. after the faulted backend was repaired and re-admitted).
+// Snapshot is a consistent copy of a Monitor's counters, taken in one
+// engine-context call (see the concurrency contract on Monitor).
+type Snapshot struct {
+	Backend string
+	// WindowOK / WindowFail are the decaying current-window counts.
+	WindowOK, WindowFail int
+	// ConsecFail is the current run of back-to-back failures.
+	ConsecFail int
+	// Unhealthy reports whether the monitor has latched.
+	Unhealthy bool
+	// Successes / Failures are the lifetime totals (not cleared by Reset).
+	Successes, Failures uint64
+	// ErrorRate is the failure share of the current window (0 with no
+	// samples).
+	ErrorRate float64
+}
+
+// Snapshot captures every counter at once. Control loops (circuit breakers,
+// shedders) should sample health through this rather than a sequence of
+// accessor calls, so a Record landing between reads can never produce a
+// torn view (e.g. a window share computed from mismatched ok/fail).
+func (m *Monitor) Snapshot() Snapshot {
+	return Snapshot{
+		Backend:    m.Backend,
+		WindowOK:   m.ok,
+		WindowFail: m.fail,
+		ConsecFail: m.consecFail,
+		Unhealthy:  m.unhealthy,
+		Successes:  m.successes,
+		Failures:   m.failures,
+		ErrorRate:  m.ErrorRate(),
+	}
+}
+
+// Reset clears window state, the consecutive-failure run, and the unhealthy
+// latch so the monitor can be re-armed (e.g. after the faulted backend was
+// repaired and re-admitted, or when a circuit breaker transitions to
+// half-open and wants a fresh verdict from the probe ops). The lifetime
+// Successes/Failures totals survive Reset deliberately — they are audit
+// counters, not detection state.
 func (m *Monitor) Reset() {
 	m.ok, m.fail, m.consecFail = 0, 0, 0
 	m.unhealthy = false

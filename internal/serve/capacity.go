@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// CapacityConfig ramps offered load stepwise until the overload signal
+// trips, discovering a configuration's maximum sustainable request rate
+// automatically instead of by operator bisection.
+type CapacityConfig struct {
+	// StartRPS, StepRPS, MaxRPS define the ramp: offered Poisson rates
+	// Start, Start+Step, ... up to Max (inclusive).
+	StartRPS float64
+	StepRPS  float64
+	MaxRPS   float64
+	// Window is the arrival window simulated at each step (plus a drain of
+	// one window quarter).
+	Window sim.Duration
+	// MaxViolationFrac and MaxShedRate are the overload signal: a step is
+	// sustainable while the SLO-violation fraction and the shed rate both
+	// stay at or under these bounds (defaults 0.05 and 0.01).
+	MaxViolationFrac float64
+	MaxShedRate      float64
+}
+
+func (c CapacityConfig) withDefaults() CapacityConfig {
+	if c.MaxViolationFrac <= 0 {
+		c.MaxViolationFrac = 0.05
+	}
+	if c.MaxShedRate <= 0 {
+		c.MaxShedRate = 0.01
+	}
+	return c
+}
+
+// CapacityPoint is one rung of the ramp.
+type CapacityPoint struct {
+	OfferedRPS  float64
+	Sustainable bool
+	Result      Result
+}
+
+// CapacityResult is the outcome of one configuration's sweep.
+type CapacityResult struct {
+	Name string
+	// MaxSustainableRPS is the highest offered rate that stayed under the
+	// overload signal (0 if even the first rung tripped it).
+	MaxSustainableRPS float64
+	// Tripped reports whether the ramp found the knee (false means the
+	// sweep exhausted MaxRPS while still sustainable — raise MaxRPS).
+	Tripped bool
+	Points  []CapacityPoint
+}
+
+// Sweep is one configuration's capacity discovery: build a fresh
+// environment per rung (each rung is an independent simulation — no state
+// bleeds between load levels), serve a Poisson window at the rung's rate,
+// and stop at the first rung that trips the overload signal. Rungs are
+// inherently sequential; parallelism lives across configurations (see
+// SweepGrid).
+func Sweep(name string, build func() baseline.Env, base Config, cc CapacityConfig) CapacityResult {
+	cc = cc.withDefaults()
+	out := CapacityResult{Name: name}
+	for rps := cc.StartRPS; rps <= cc.MaxRPS+1e-9; rps += cc.StepRPS {
+		cfg := base
+		cfg.Arrivals = workload.Poisson{RPS: rps}
+		cfg.Duration = cc.Window
+		if cfg.Drain <= 0 {
+			cfg.Drain = cc.Window / 4
+		}
+		env := build()
+		res := Run(env, cfg)
+		ok := res.SLOViolationFrac <= cc.MaxViolationFrac && res.ShedRate <= cc.MaxShedRate
+		out.Points = append(out.Points, CapacityPoint{OfferedRPS: rps, Sustainable: ok, Result: res})
+		if !ok {
+			out.Tripped = true
+			break
+		}
+		out.MaxSustainableRPS = rps
+		if cc.StepRPS <= 0 {
+			break
+		}
+	}
+	return out
+}
+
+// NamedSweep pairs a configuration with its sweep parameters for SweepGrid.
+type NamedSweep struct {
+	Name  string
+	Build func() baseline.Env
+	Serve Config
+	Cap   CapacityConfig
+}
+
+// SweepGrid runs several configuration sweeps, fanned out over workers.
+// Each sweep is an independent deterministic simulation and results are
+// assembled by input index, so output is byte-identical for any worker
+// count. (The experiments package's grid runner is not reused here because
+// experiments imports serve — and a sweep's inner ramp is sequential
+// anyway; only whole configurations parallelize.)
+func SweepGrid(sweeps []NamedSweep, workers int) []CapacityResult {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(sweeps) {
+		workers = len(sweeps)
+	}
+	results := make([]CapacityResult, len(sweeps))
+	jobs := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				s := sweeps[i]
+				results[i] = Sweep(s.Name, s.Build, s.Serve, s.Cap)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := range sweeps {
+		jobs <- i
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return results
+}
+
+// RenderCapacity formats sweep results as an aligned text report, one
+// configuration section per sweep, ending with the discovered capacity.
+func RenderCapacity(results []CapacityResult) string {
+	out := ""
+	for _, r := range results {
+		out += fmt.Sprintf("## capacity: %s\n", r.Name)
+		out += fmt.Sprintf("%10s %12s %10s %10s %10s %10s  %s\n",
+			"offered", "admitted", "goodput", "shed%", "viol%", "p99", "verdict")
+		for _, p := range r.Points {
+			verdict := "ok"
+			if !p.Sustainable {
+				verdict = "OVERLOAD"
+			}
+			out += fmt.Sprintf("%10.1f %12d %10.1f %9.2f%% %9.2f%% %10s  %s\n",
+				p.OfferedRPS, p.Result.Admitted, p.Result.GoodputRPS,
+				100*p.Result.ShedRate, 100*p.Result.SLOViolationFrac,
+				p.Result.DelayP99, verdict)
+		}
+		if r.Tripped {
+			out += fmt.Sprintf("max sustainable: %.1f req/s\n\n", r.MaxSustainableRPS)
+		} else {
+			out += fmt.Sprintf("max sustainable: >= %.1f req/s (ramp exhausted before overload)\n\n", r.MaxSustainableRPS)
+		}
+	}
+	return out
+}

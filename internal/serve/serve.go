@@ -1,0 +1,741 @@
+// Package serve is the open-loop serving mode: an arrival process offers
+// requests at a rate the server did not choose, and the robustness
+// machinery — bounded admission queue with deadline-based admission
+// control, an SLO-aware adaptive load shedder, per-backend circuit
+// breakers, and online backend re-tiering — decides what to accept, what
+// to refuse, and where to run what was accepted.
+//
+// The paper's evaluation is closed-loop (fixed task grids run to
+// completion); this package is the "heavy traffic from millions of users"
+// half: overload is an input, and surviving it gracefully — shedding the
+// excess while the admitted traffic keeps its SLO — is the measured,
+// gated behavior. See DESIGN.md "Serving & overload control".
+//
+// Accounting model (the conservation law checked by the serve.conservation
+// invariant):
+//
+//	offered  = refused (at the front door) + admitted
+//	admitted = completed + shed (post-admission drops) + in-flight
+//
+// Refusals never enter the system (queue-full, predicted-deadline, and
+// shedder throttling); sheds are admitted requests dropped from the queue
+// when their waiting time exceeds the deadline.
+package serve
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/invariant"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/swap"
+	"repro/internal/task"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// ckConservation checks offered/admitted/completed/shed/in-flight
+// conservation at every control tick and at the end of the run.
+var ckConservation = invariant.Register("serve.conservation")
+
+// Config parameterizes one open-loop serving run.
+type Config struct {
+	// Templates is the pool of request shapes; arrivals cycle through it
+	// pseudo-randomly (seeded).
+	Templates []cluster.App
+	// Arrivals is the open-loop arrival process.
+	Arrivals workload.ArrivalProcess
+	// Duration is the arrival window: requests arrive in [0, Duration).
+	Duration sim.Duration
+	// Drain extends the simulation past the arrival window so in-flight
+	// work can finish (0: stop at Duration and report in-flight).
+	Drain sim.Duration
+	// SLO is the placement-delay target (submission → VM-ready) the
+	// shedder defends for admitted traffic, as a p99.
+	SLO sim.Duration
+	// QueueCap bounds the admission queue (default 256). Arrivals finding
+	// the queue full are refused.
+	QueueCap int
+	// AdmitDeadline refuses arrivals whose predicted queue wait exceeds
+	// it, and sheds queued requests that have already waited longer —
+	// work that cannot possibly meet its deadline is not worth queueing,
+	// and shedding it is what keeps the *admitted* traffic's placement
+	// delay bounded. Defaults to SLO; 0 with no SLO disables deadline
+	// enforcement entirely.
+	AdmitDeadline sim.Duration
+	// MaxTasksPerVM is the dispatcher's per-VM concurrency bound
+	// (default 2); see cluster.Dispatcher.MaxTasksPerVM.
+	MaxTasksPerVM int
+	// Shedding enables the adaptive token-bucket shedder; without it, only
+	// the queue bound and the admit deadline protect the server.
+	Shedding bool
+	// Breakers enables per-backend circuit breakers.
+	Breakers bool
+	// Retier enables online backend reconfiguration under sustained
+	// pressure: Free VMs parked on broken or saturated backends are
+	// switched to the healthiest one.
+	Retier bool
+	// Tick is the control-loop cadence (default 50ms): shedder adaptation,
+	// queue-deadline scanning, pressure detection, conservation checks.
+	Tick sim.Duration
+	// Seed feeds every stochastic component (arrival draws, template
+	// choice, breaker jitter).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.AdmitDeadline <= 0 {
+		c.AdmitDeadline = c.SLO
+	}
+	if c.MaxTasksPerVM <= 0 {
+		c.MaxTasksPerVM = 2
+	}
+	if c.Tick <= 0 {
+		c.Tick = 50 * sim.Millisecond
+	}
+	return c
+}
+
+// Result summarizes one serving run.
+type Result struct {
+	// Offered is the total arrivals in the window.
+	Offered int
+	// Front-door refusals, by reason. Refused work never entered the
+	// system.
+	RefusedQueueFull int
+	RefusedDeadline  int
+	RefusedThrottle  int
+	// Admitted = Offered - refusals.
+	Admitted int
+	// Degraded is the subset of Admitted served in degraded mode (cheaper
+	// response) by the shedder's brown-out band.
+	Degraded int
+	// Shed counts admitted requests dropped from the queue after waiting
+	// past the deadline.
+	Shed int
+	// Completed tasks, and the subset whose placement delay met the SLO.
+	Completed      int
+	CompletedInSLO int
+	// InFlight at the end of the run: queued + dispatched-but-not-ready +
+	// running.
+	InFlight int
+
+	// Placement-delay distribution over admitted work that reached
+	// VM-ready (submission → VM-ready; see cluster.ArrivalSimResult).
+	DelayP50, DelayP95, DelayP99 sim.Duration
+	DelaySamples                 int
+	// SLOViolationFrac is the share of measured placements over the SLO.
+	SLOViolationFrac float64
+
+	// GoodputRPS is useful work delivered per second of the arrival
+	// window: completions whose placement delay met the SLO, with degraded
+	// responses weighted by their cost share (degradeCost) so brown-out
+	// cannot inflate goodput by making responses cheaper.
+	GoodputRPS float64
+	// ShedRate is (refusals + sheds) / offered.
+	ShedRate float64
+
+	// Control-plane activity.
+	BreakerOpens  int
+	BreakerCloses int
+	Retiers       int
+	MaxQueue      int
+	// ShedderRate is the shedder's admit-rate limit at the end of the run
+	// (req/s; 0 when shedding is off).
+	ShedderRate float64
+}
+
+// queued is one admitted request waiting for dispatch.
+type queued struct {
+	app      cluster.App
+	arrived  sim.Time
+	degraded bool
+}
+
+// server is the run state of one serving simulation.
+type server struct {
+	cfg   Config
+	env   baseline.Env
+	eng   *sim.Engine
+	d     *cluster.Dispatcher
+	rng   *rand.Rand
+	start sim.Time // engine time when serving began; arrival processes see elapsed time
+
+	queue []queued
+	res   Result
+
+	// Conservation pieces, tracked independently of the queue slice so the
+	// invariant is a structural check, not arithmetic identity.
+	pendingReady int // dispatched, VM not ready yet
+	running      int // task started, not completed
+	inSLOSamples int // placement delays at or under the SLO
+	goodWeight   float64
+
+	delays metrics.Histogram
+	// ring holds recent placement delays for the shedder's window p99.
+	ring  [128]sim.Duration
+	ringN int
+
+	shed shedder
+
+	breakers     map[string]*faults.Breaker
+	backendOrder []string
+
+	pressureTicks int
+	lastRetier    sim.Time
+
+	ewmaServiceNS float64
+
+	// Observability handles, resolved once (nil when off).
+	rec        *obs.Recorder
+	obsQueue   *metrics.BucketTimeline
+	obsRate    *metrics.BucketTimeline
+	obsArrival *metrics.BucketTimeline
+}
+
+// shedder is the adaptive admission throttle: a token bucket whose refill
+// rate follows an AIMD law driven by the windowed placement-delay p99 and
+// the queue-delay gradient. When the window p99 breaches the SLO — or the
+// queue head's age exceeds it and is still growing — the rate is cut
+// multiplicatively; otherwise it recovers additively toward the offered
+// rate. Below one token the bucket has a brown-out band where requests are
+// admitted degraded rather than refused.
+type shedder struct {
+	enabled    bool
+	rate       float64 // tokens/second
+	tokens     float64
+	burst      float64
+	minRate    float64
+	lastQDelay sim.Duration
+}
+
+const (
+	shedBeta     = 0.8  // multiplicative decrease on breach
+	shedAlpha    = 0.05 // additive increase, as a share of the offered rate
+	degradeCost  = 0.25 // tokens consumed by a degraded admission
+	degradeBand  = 0.25 // minimum tokens for a degraded admission
+	retierEvery  = sim.Second
+	pressureFor  = 10 // consecutive ticks of queue delay over SLO
+	ewmaAlpha    = 0.2
+	minShedRate  = 5.0
+	shedHeadroom = 1.25 // rate cap as a multiple of the offered rate
+)
+
+// Run executes one open-loop serving simulation against env's machine. The
+// caller owns fleet preparation (see PrewarmFleet); Run owns everything
+// from the first arrival to the final accounting.
+func Run(env baseline.Env, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	s := &server{
+		cfg: cfg,
+		env: env,
+		eng: env.Machine.Eng,
+		d:   cluster.NewDispatcher(env),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.d.MaxTasksPerVM = cfg.MaxTasksPerVM
+	s.backendOrder = env.Machine.BackendNames()
+
+	if cfg.Breakers {
+		s.breakers = make(map[string]*faults.Breaker)
+		for i, name := range s.backendOrder {
+			s.breakers[name] = faults.NewBreaker(s.eng, name, cfg.Seed+int64(i)+1)
+		}
+		s.d.Gate = func(backend string) bool {
+			b := s.breakers[backend]
+			return b == nil || b.Permits()
+		}
+	}
+
+	if obs.On {
+		if r := obs.Rec(s.eng); r != nil {
+			s.rec = r
+			s.obsQueue = r.Timeline("serve/queue-depth", obs.DefaultTimelineWidth, obs.ModeMean)
+			s.obsRate = r.Timeline("serve/shed-rate-limit", obs.DefaultTimelineWidth, obs.ModeMean)
+			s.obsArrival = r.Timeline("serve/offered-rate", obs.DefaultTimelineWidth, obs.ModeMean)
+			for _, name := range s.backendOrder {
+				if b := s.breakers[name]; b != nil {
+					name := name
+					b.OnTransition = func(from, to faults.BreakerState, at sim.Time) {
+						s.rec.Instant("serve/breaker", name+" "+from.String()+"→"+to.String(), "")
+					}
+				}
+			}
+			r.OnSeal(func() {
+				r.Counter("serve/offered").Add(float64(s.res.Offered))
+				r.Counter("serve/admitted").Add(float64(s.res.Admitted))
+				r.Counter("serve/refused-queue-full").Add(float64(s.res.RefusedQueueFull))
+				r.Counter("serve/refused-deadline").Add(float64(s.res.RefusedDeadline))
+				r.Counter("serve/refused-throttle").Add(float64(s.res.RefusedThrottle))
+				r.Counter("serve/degraded").Add(float64(s.res.Degraded))
+				r.Counter("serve/shed").Add(float64(s.res.Shed))
+				r.Counter("serve/completed").Add(float64(s.res.Completed))
+				r.Counter("serve/breaker-opens").Add(float64(s.res.BreakerOpens))
+				r.Counter("serve/breaker-closes").Add(float64(s.res.BreakerCloses))
+				r.Counter("serve/retiers").Add(float64(s.res.Retiers))
+			})
+		}
+	}
+
+	if cfg.Shedding {
+		offered := cfg.Arrivals.Rate(0)
+		s.shed = shedder{
+			enabled: true,
+			rate:    offered * shedHeadroom,
+			minRate: minShedRate,
+		}
+		s.shed.burst = s.shed.rate * 0.25
+		if s.shed.burst < 8 {
+			s.shed.burst = 8
+		}
+		s.shed.tokens = s.shed.burst
+	}
+
+	// The serving clock is relative to the instant Run is entered: the
+	// engine may already be deep into virtual time (fleet prewarming boots
+	// VMs for ~52 virtual seconds), and arrival processes are defined over
+	// elapsed serving time.
+	s.start = s.eng.Now()
+	end := s.start.Add(cfg.Duration + cfg.Drain)
+
+	// Arrival loop.
+	var arrive func(i int)
+	arrive = func(i int) {
+		now := s.eng.Now()
+		if now.Sub(s.start) >= cfg.Duration {
+			return
+		}
+		s.offer(i)
+		gap := cfg.Arrivals.Gap(s.elapsed(), s.rng)
+		s.eng.At(now.Add(gap), func() { arrive(i + 1) })
+	}
+	s.eng.Immediately(func() { arrive(0) })
+
+	// Control loop.
+	var tick func()
+	tick = func() {
+		s.tick()
+		next := s.eng.Now().Add(cfg.Tick)
+		if next <= end {
+			s.eng.At(next, tick)
+		}
+	}
+	s.eng.At(s.start.Add(cfg.Tick), tick)
+
+	s.eng.RunUntil(end)
+
+	// Final accounting.
+	s.res.InFlight = len(s.queue) + s.pendingReady + s.running
+	s.checkConservation()
+	s.res.DelaySamples = s.delays.Count()
+	if n := s.delays.Count(); n > 0 {
+		s.res.DelayP50 = sim.Duration(s.delays.Quantile(0.50))
+		s.res.DelayP95 = sim.Duration(s.delays.Quantile(0.95))
+		s.res.DelayP99 = sim.Duration(s.delays.Quantile(0.99))
+		viol := 0.0
+		// Violation fraction from the histogram's view of the SLO boundary
+		// would be approximate; the exact count is tracked at record time.
+		viol = float64(s.res.DelaySamples-s.inSLOSamples) / float64(n)
+		s.res.SLOViolationFrac = viol
+	}
+	if cfg.Duration > 0 {
+		s.res.GoodputRPS = s.goodWeight / cfg.Duration.Seconds()
+	}
+	if s.res.Offered > 0 {
+		s.res.ShedRate = float64(s.res.RefusedQueueFull+s.res.RefusedDeadline+
+			s.res.RefusedThrottle+s.res.Shed) / float64(s.res.Offered)
+	}
+	for _, name := range s.backendOrder {
+		if b := s.breakers[name]; b != nil {
+			s.res.BreakerOpens += int(b.Opens())
+			s.res.BreakerCloses += int(b.Closes())
+		}
+	}
+	if s.shed.enabled {
+		s.res.ShedderRate = s.shed.rate
+	}
+	return s.res
+}
+
+// elapsed is serving time: engine time since Run began, as the sim.Time
+// the arrival processes are defined over.
+func (s *server) elapsed() sim.Time {
+	return sim.Time(s.eng.Now().Sub(s.start))
+}
+
+// offer handles one arrival: admission control, then queue + pump.
+func (s *server) offer(i int) {
+	s.res.Offered++
+	if s.obsArrival != nil {
+		s.obsArrival.Add(s.eng.Now(), s.cfg.Arrivals.Rate(s.elapsed()))
+	}
+
+	// 1. Bounded queue.
+	if len(s.queue) >= s.cfg.QueueCap {
+		s.res.RefusedQueueFull++
+		return
+	}
+	// 2. Deadline-based admission: refuse work predicted to wait past the
+	// deadline (queue length × smoothed service time / fleet slots).
+	if wait := s.predictedWait(); s.cfg.AdmitDeadline > 0 && wait > s.cfg.AdmitDeadline {
+		s.res.RefusedDeadline++
+		return
+	}
+	// 3. Adaptive shedder.
+	degraded := false
+	if s.shed.enabled {
+		switch {
+		case s.shed.tokens >= 1:
+			s.shed.tokens--
+		case s.shed.tokens >= degradeBand:
+			s.shed.tokens -= degradeCost
+			degraded = true
+		default:
+			s.res.RefusedThrottle++
+			return
+		}
+	}
+
+	app := s.cfg.Templates[s.rng.Intn(len(s.cfg.Templates))]
+	app.Seed = s.cfg.Seed + int64(i)
+	if degraded {
+		// Brown-out: serve the cheap version of the response — a quarter
+		// of the accesses — instead of refusing outright.
+		app.Spec.MainAccesses /= 4
+		if app.Spec.MainAccesses < 64 {
+			app.Spec.MainAccesses = 64
+		}
+		s.res.Degraded++
+	}
+	s.res.Admitted++
+	s.queue = append(s.queue, queued{app: app, arrived: s.eng.Now(), degraded: degraded})
+	if len(s.queue) > s.res.MaxQueue {
+		s.res.MaxQueue = len(s.queue)
+	}
+	s.pump()
+}
+
+// predictedWait estimates how long a new arrival would queue: requests
+// ahead of it divided by the fleet's smoothed service throughput.
+func (s *server) predictedWait() sim.Duration {
+	if s.ewmaServiceNS <= 0 {
+		return 0 // no evidence yet: admit
+	}
+	slots := 0
+	for range s.env.Machine.VMs() {
+		slots += s.cfg.MaxTasksPerVM
+	}
+	if slots == 0 {
+		slots = 1
+	}
+	return sim.Duration(float64(len(s.queue)+1) * s.ewmaServiceNS / float64(slots))
+}
+
+// pump dispatches from the queue head until the fleet refuses. Expired
+// work is shed here, at the last possible moment: a request that already
+// waited past the deadline is never dispatched, which is what bounds the
+// placement delay of everything that *is* dispatched (the tick-time queue
+// scan alone would leave a one-tick race where expired work slips out).
+func (s *server) pump() {
+	now := s.eng.Now()
+	for len(s.queue) > 0 {
+		q := s.queue[0]
+		if s.cfg.AdmitDeadline > 0 && now.Sub(q.arrived) > s.cfg.AdmitDeadline {
+			s.res.Shed++
+			s.queue = s.queue[1:]
+			continue
+		}
+		pl := s.d.Dispatch(q.app, s.readyFn(q))
+		if pl.Via == cluster.ViaNone {
+			return
+		}
+		s.queue = s.queue[1:]
+		s.pendingReady++
+		if b := s.breakers[pl.Decision.Backend]; b != nil && b.State() == faults.BreakerHalfOpen {
+			// The selection peeked via Permits; the winner claims its
+			// half-open probe slot here.
+			b.Allow()
+		}
+	}
+}
+
+// readyFn builds the VM-ready callback for one queued request: measure the
+// placement delay (submission → VM-ready, counted exactly once — see
+// cluster.RunArrivalSim) and start the task.
+func (s *server) readyFn(q queued) func(cluster.Placement) {
+	fired := false
+	return func(pl cluster.Placement) {
+		if fired {
+			return
+		}
+		fired = true
+		s.pendingReady--
+		s.running++
+
+		delay := s.eng.Now().Sub(q.arrived)
+		inSLO := delay <= s.cfg.SLO
+		s.delays.Add(float64(delay))
+		if inSLO {
+			s.inSLOSamples++
+		}
+		s.ring[s.ringN%len(s.ring)] = delay
+		s.ringN++
+		if s.rec != nil {
+			s.rec.Observe("serve/placement-delay", float64(delay))
+		}
+
+		// Serving fleets overcommit memory: a VM's DRAM is shared by its
+		// MaxTasksPerVM concurrent requests, so each request's local share
+		// is capped by pages/(slots × footprint) regardless of what the
+		// console's SLO planning asked for. This cap is what makes backend
+		// speed matter for serving capacity — the overflow must live on a
+		// backend, and how fast that backend is sets the service time.
+		local := pl.Decision.LocalRatio
+		if q.app.Spec.FootprintPages > 0 {
+			memCap := float64(pl.VM.Pages) /
+				float64(s.cfg.MaxTasksPerVM*q.app.Spec.FootprintPages)
+			if memCap < 0.05 {
+				memCap = 0.05
+			}
+			if memCap < local {
+				local = memCap
+			}
+		}
+		be := s.env.Machine.Backend(pl.VM.ActiveBackend())
+		setup := baseline.PrepareXDM(s.env, be, q.app.Spec, local, q.app.SLO, q.app.Seed)
+		cfg := setup.Config
+		cfg.SwapPath = pl.VM.Path()
+		// Per-op timeout/retry so a dead backend fails through, and the
+		// breaker observes every attempt outcome.
+		cfg.SwapPath.Retry = swap.DefaultRetryPolicy(be.Kind())
+		if b := s.breakers[pl.VM.ActiveBackend()]; b != nil {
+			cfg.SwapPath.Health = b
+		}
+		task.New(cfg).Start(func(task.Stats) {
+			s.running--
+			s.res.Completed++
+			if inSLO {
+				s.res.CompletedInSLO++
+				if q.degraded {
+					s.goodWeight += degradeCost
+				} else {
+					s.goodWeight++
+				}
+			}
+			runtime := float64(s.eng.Now().Sub(q.arrived) - delay)
+			if s.ewmaServiceNS <= 0 {
+				s.ewmaServiceNS = runtime
+			} else {
+				s.ewmaServiceNS += ewmaAlpha * (runtime - s.ewmaServiceNS)
+			}
+			s.d.Release(pl)
+			s.pump()
+		})
+	}
+}
+
+// tick is the control loop: deadline scanning, shedder adaptation,
+// pressure detection and re-tiering, conservation checking, timelines.
+func (s *server) tick() {
+	now := s.eng.Now()
+
+	// Shed queued work that has already waited past the deadline.
+	kept := s.queue[:0]
+	for _, q := range s.queue {
+		if s.cfg.AdmitDeadline > 0 && now.Sub(q.arrived) > s.cfg.AdmitDeadline {
+			s.res.Shed++
+			continue
+		}
+		kept = append(kept, q)
+	}
+	s.queue = kept
+
+	// Queue-delay signal: age of the head (0 when empty).
+	var qDelay sim.Duration
+	if len(s.queue) > 0 {
+		qDelay = now.Sub(s.queue[0].arrived)
+	}
+
+	if s.shed.enabled {
+		p99 := s.windowP99()
+		grad := qDelay - s.shed.lastQDelay
+		s.shed.lastQDelay = qDelay
+		offered := s.cfg.Arrivals.Rate(s.elapsed())
+		maxRate := offered * shedHeadroom
+		if maxRate < s.shed.minRate {
+			maxRate = s.shed.minRate
+		}
+		breach := (p99 > 0 && p99 > s.cfg.SLO) || (qDelay > s.cfg.SLO && grad > 0)
+		if breach {
+			s.shed.rate *= shedBeta
+			if s.shed.rate < s.shed.minRate {
+				s.shed.rate = s.shed.minRate
+			}
+		} else {
+			s.shed.rate += shedAlpha * maxRate
+		}
+		if s.shed.rate > maxRate {
+			s.shed.rate = maxRate
+		}
+		s.shed.tokens += s.shed.rate * s.cfg.Tick.Seconds()
+		if s.shed.tokens > s.shed.burst {
+			s.shed.tokens = s.shed.burst
+		}
+		if s.obsRate != nil {
+			s.obsRate.Add(now, s.shed.rate)
+		}
+	}
+
+	// Online re-tiering. The dispatcher's ViaSwitch branch already
+	// converts idle VMs to the chosen backend on demand, but that pays
+	// the switch latency on a request's critical path. The control loop
+	// pre-positions instead: under sustained queue pressure, or as soon
+	// as a breaker condemns a backend, idle VMs parked on sick backends
+	// are switched ahead of demand so the next dispatch finds a Free VM
+	// already active on a healthy backend.
+	if qDelay > s.cfg.SLO {
+		s.pressureTicks++
+	} else {
+		s.pressureTicks = 0
+	}
+	condemned := false
+	for _, name := range s.backendOrder {
+		if b := s.breakers[name]; b != nil && !b.Permits() {
+			condemned = true
+			break
+		}
+	}
+	if s.cfg.Retier && (s.pressureTicks >= pressureFor || condemned) &&
+		now.Sub(s.lastRetier) >= retierEvery {
+		s.retier()
+		s.lastRetier = now
+	}
+
+	if s.obsQueue != nil {
+		s.obsQueue.Add(now, float64(len(s.queue)))
+	}
+
+	s.checkConservation()
+	s.pump()
+}
+
+// checkConservation evaluates the conservation law against independently
+// tracked structures: the queue slice, the pending-ready counter, and the
+// running-task counter.
+func (s *server) checkConservation() {
+	if !invariant.On {
+		return
+	}
+	inFlight := len(s.queue) + s.pendingReady + s.running
+	ckConservation.Assert(
+		s.res.Admitted == s.res.Completed+s.res.Shed+inFlight,
+		"admitted %d != completed %d + shed %d + in-flight %d (queue %d, pending %d, running %d)",
+		s.res.Admitted, s.res.Completed, s.res.Shed, inFlight,
+		len(s.queue), s.pendingReady, s.running)
+}
+
+// windowP99 computes the p99 of the recent placement-delay ring.
+func (s *server) windowP99() sim.Duration {
+	n := s.ringN
+	if n > len(s.ring) {
+		n = len(s.ring)
+	}
+	if n == 0 {
+		return 0
+	}
+	buf := make([]sim.Duration, n)
+	copy(buf, s.ring[:n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := (n*99 + 99) / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return buf[idx]
+}
+
+// retier switches Free VMs off broken or saturated backends onto the
+// healthiest one — online backend reconfiguration under pressure. VMs
+// running tasks are left alone (live migration is the dispatcher's warm
+// switch on the next placement).
+func (s *server) retier() {
+	target := s.bestBackend()
+	if target == "" {
+		return
+	}
+	for _, v := range s.env.Machine.VMs() {
+		if v.State() != vm.Free {
+			continue
+		}
+		cur := v.ActiveBackend()
+		if cur == target || !s.backendSick(cur) {
+			continue
+		}
+		if err := v.SwitchBackend(target, nil); err == nil {
+			s.res.Retiers++
+			if s.rec != nil {
+				s.rec.Instant("serve/retier", v.Name+" "+cur+"→"+target, "")
+			}
+		}
+	}
+}
+
+// backendSick reports whether a backend should shed its idle VMs: circuit
+// open, device down/stalled, or saturated.
+func (s *server) backendSick(name string) bool {
+	if b := s.breakers[name]; b != nil && !b.Permits() {
+		return true
+	}
+	dev := s.env.Machine.Device(name)
+	if dev == nil {
+		return false
+	}
+	return dev.Down() || dev.Stalled() || dev.QueueDepth() > 4*dev.Channels()
+}
+
+// bestBackend picks the healthy backend with the shallowest device queue,
+// ties broken by name order (deterministic).
+func (s *server) bestBackend() string {
+	best := ""
+	bestDepth := 0
+	for _, name := range s.backendOrder {
+		if s.backendSick(name) {
+			continue
+		}
+		depth := 0
+		if dev := s.env.Machine.Device(name); dev != nil {
+			depth = dev.QueueDepth()
+		}
+		if best == "" || depth < bestDepth {
+			best, bestDepth = name, depth
+		}
+	}
+	return best
+}
+
+// PrewarmFleet boots n VMs round-robin across the machine's backends, each
+// with every backend warm (so re-tiering and warm switches are possible),
+// and runs the engine until the boots complete. Serving runs call this
+// before Run so the arrival window starts against a ready fleet — cold VM
+// boots (~52s virtual) would otherwise dominate any realistic window.
+func PrewarmFleet(env baseline.Env, n, cores, pages int) {
+	names := env.Machine.BackendNames()
+	if len(names) == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		order := make([]string, 0, len(names))
+		for j := range names {
+			order = append(order, names[(i+j)%len(names)])
+		}
+		env.Machine.CreateVM("serve-"+order[0], cores, pages, order, nil)
+	}
+	env.Machine.Eng.Run()
+}

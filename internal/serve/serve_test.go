@@ -1,0 +1,445 @@
+package serve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/device"
+	"repro/internal/invariant"
+	"repro/internal/obs"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// servingEnv builds a fresh machine with the named backends attached.
+// Backend names choose their device model by prefix (ssd/rdma/dram).
+func servingEnv(backends ...string) baseline.Env {
+	eng := sim.NewEngine()
+	m := vm.NewMachine(eng, pcie.Gen4, 40, 16, 1<<20)
+	for _, name := range backends {
+		switch {
+		case strings.HasPrefix(name, "rdma"):
+			m.AttachDevice(device.SpecConnectX5(name))
+		case strings.HasPrefix(name, "dram"):
+			m.AttachDevice(device.SpecRemoteDRAM(name))
+		default:
+			m.AttachDevice(device.SpecTestbedSSD(name))
+		}
+	}
+	return baseline.Env{Machine: m, FileBackend: backends[0]}
+}
+
+func warmedEnv(backends ...string) baseline.Env {
+	env := servingEnv(backends...)
+	PrewarmFleet(env, 4, 2, 4096)
+	return env
+}
+
+// withInvariants enables the checking layer around fn, failing the test on
+// any violation.
+func withInvariants(t *testing.T, fn func()) {
+	t.Helper()
+	var violations []invariant.Violation
+	restore := invariant.SetHandler(func(v invariant.Violation) {
+		violations = append(violations, v)
+	})
+	defer restore()
+	invariant.Reset()
+	invariant.Enable()
+	defer invariant.Disable()
+	fn()
+	for _, v := range violations {
+		t.Errorf("invariant violated: %v", v)
+	}
+}
+
+func TestServeUnderloadedAllInSLO(t *testing.T) {
+	env := warmedEnv("ssd0", "rdma0")
+	res := Run(env, Config{
+		Templates: RequestTemplates(),
+		Arrivals:  workload.Poisson{RPS: 50},
+		Duration:  4 * sim.Second,
+		Drain:     sim.Second,
+		SLO:       100 * sim.Millisecond,
+		Shedding:  true,
+		Breakers:  true,
+		Seed:      1,
+	})
+	if res.Offered == 0 || res.Admitted != res.Offered {
+		t.Fatalf("underloaded run refused traffic: %+v", res)
+	}
+	if res.Completed != res.Admitted || res.InFlight != 0 {
+		t.Fatalf("underloaded run did not drain: %+v", res)
+	}
+	if res.SLOViolationFrac != 0 {
+		t.Fatalf("underloaded run violated SLO: %+v", res)
+	}
+	if res.GoodputRPS <= 0 {
+		t.Fatalf("no goodput: %+v", res)
+	}
+}
+
+// TestServeConservation checks the conservation law under the nastiest mix
+// available: a flash crowd driving the server deep into overload while one
+// backend fails and recovers mid-run.
+func TestServeConservation(t *testing.T) {
+	withInvariants(t, func() {
+		env := warmedEnv("ssd0", "rdma0")
+		arr, err := workload.ParseArrival("flash:100:8:1:2", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fault window: rdma0 dies during the crowd, comes back after.
+		dev := env.Machine.Device("rdma0")
+		eng := env.Machine.Eng
+		base := eng.Now()
+		eng.At(base.Add(1500*sim.Millisecond), dev.Fail)
+		eng.At(base.Add(3*sim.Second), dev.Recover)
+
+		res := Run(env, Config{
+			Templates: RequestTemplates(),
+			Arrivals:  arr,
+			Duration:  5 * sim.Second,
+			Drain:     sim.Second,
+			SLO:       100 * sim.Millisecond,
+			Shedding:  true,
+			Breakers:  true,
+			Retier:    true,
+			Seed:      3,
+		})
+
+		// The law also holds on the final numbers, independently of the
+		// invariant layer.
+		refused := res.RefusedQueueFull + res.RefusedDeadline + res.RefusedThrottle
+		if res.Offered != refused+res.Admitted {
+			t.Fatalf("offered %d != refused %d + admitted %d", res.Offered, refused, res.Admitted)
+		}
+		if res.Admitted != res.Completed+res.Shed+res.InFlight {
+			t.Fatalf("admitted %d != completed %d + shed %d + in-flight %d",
+				res.Admitted, res.Completed, res.Shed, res.InFlight)
+		}
+		if res.Completed == 0 {
+			t.Fatal("nothing completed")
+		}
+	})
+	if ckConservation.Hits() == 0 {
+		t.Fatal("serve.conservation was never evaluated")
+	}
+}
+
+// TestServeDeterministic pins byte-identical results for identical seeds,
+// and different results for different seeds (the seed is actually used).
+func TestServeDeterministic(t *testing.T) {
+	run := func(seed int64) Result {
+		env := warmedEnv("ssd0", "rdma0")
+		return Run(env, Config{
+			Templates: RequestTemplates(),
+			Arrivals:  workload.Diurnal{BaseRPS: 150, Amplitude: 0.8, Period: 2 * sim.Second},
+			Duration:  4 * sim.Second,
+			Drain:     sim.Second,
+			SLO:       100 * sim.Millisecond,
+			Shedding:  true,
+			Breakers:  true,
+			Retier:    true,
+			Seed:      seed,
+		})
+	}
+	a, b := run(11), run(11)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical runs diverged:\n%+v\n%+v", a, b)
+	}
+	if c := run(12); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+// TestFlashCrowdSheddingDefendsSLO is the headline overload test: under an
+// 8x flash crowd, the shedder keeps the admitted traffic's placement p99
+// within the SLO while a no-shedding baseline blows through it — at a
+// goodput no worse than 10% below the baseline's.
+func TestFlashCrowdSheddingDefendsSLO(t *testing.T) {
+	slo := 100 * sim.Millisecond
+	run := func(shed bool) Result {
+		env := warmedEnv("ssd0", "rdma0")
+		arr, err := workload.ParseArrival("flash:100:8:1:2", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Templates: RequestTemplates(),
+			Arrivals:  arr,
+			Duration:  5 * sim.Second,
+			Drain:     2 * sim.Second,
+			SLO:       slo,
+			Shedding:  shed,
+			Seed:      7,
+		}
+		if !shed {
+			// The baseline has no overload protection at all: deadline
+			// enforcement off, so the queue soaks the crowd and delay
+			// explodes.
+			cfg.AdmitDeadline = sim.Hour
+		}
+		return Run(env, cfg)
+	}
+	shed, base := run(true), run(false)
+
+	if base.DelayP99 <= slo {
+		t.Fatalf("baseline p99 %v did not violate the %v SLO; crowd too small", base.DelayP99, slo)
+	}
+	if shed.DelayP99 > slo {
+		t.Fatalf("shedder let admitted p99 reach %v, over the %v SLO", shed.DelayP99, slo)
+	}
+	if shed.Shed+shed.RefusedDeadline+shed.RefusedThrottle == 0 {
+		t.Fatal("shedder shed nothing under an 8x flash crowd")
+	}
+	if shed.GoodputRPS < 0.9*base.GoodputRPS {
+		t.Fatalf("shedding cost too much goodput: %.1f vs baseline %.1f",
+			shed.GoodputRPS, base.GoodputRPS)
+	}
+}
+
+// TestServeBreakerCutsFailedBackend injects a backend brown-out mid-run
+// and checks the circuit opens, the run survives, and the circuit closes
+// again after recovery probing. The fault is a degradation, not a hard
+// Fail: a dead device is already excluded by the dispatcher's own health
+// check, so the breaker's value is exactly the gray failure the device
+// layer does not flag — ops that still complete, but past their timeout.
+func TestServeBreakerCutsFailedBackend(t *testing.T) {
+	env := warmedEnv("ssd0", "rdma0")
+	dev := env.Machine.Device("rdma0")
+	eng := env.Machine.Eng
+	base := eng.Now()
+	eng.At(base.Add(sim.Second), func() { dev.Degrade(5000, 0.01) })
+	eng.At(base.Add(2500*sim.Millisecond), dev.Recover)
+
+	res := Run(env, Config{
+		Templates: RequestTemplates(),
+		Arrivals:  workload.Poisson{RPS: 150},
+		Duration:  5 * sim.Second,
+		Drain:     2 * sim.Second,
+		SLO:       200 * sim.Millisecond,
+		Shedding:  true,
+		Breakers:  true,
+		Retier:    true,
+		Seed:      5,
+	})
+	if res.BreakerOpens == 0 {
+		t.Fatalf("backend outage did not open a breaker: %+v", res)
+	}
+	if res.BreakerCloses == 0 {
+		t.Fatalf("breaker never closed after recovery: %+v", res)
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed through the outage")
+	}
+}
+
+// TestCapacitySweepXDMBeatsStatic is the acceptance bar for capacity
+// discovery: the sweep finds a finite knee for both a static single-backend
+// fleet and an xdm multi-backend fleet, and the multi-backend capacity is
+// strictly higher.
+func TestCapacitySweepXDMBeatsStatic(t *testing.T) {
+	base := Config{
+		Templates: RequestTemplates(),
+		SLO:       100 * sim.Millisecond,
+		Seed:      1,
+	}
+	// The serving fleet is memory-overcommitted: VM DRAM holds half of a
+	// request's footprint, so the other half must live on a backend and
+	// backend speed sets the service time. That is where multi-backend
+	// capacity comes from; with enough DRAM per VM both configurations
+	// serve from local memory and tie.
+	warm := func(backends ...string) func() baseline.Env {
+		return func() baseline.Env {
+			env := servingEnv(backends...)
+			PrewarmFleet(env, 4, 2, 1024)
+			return env
+		}
+	}
+	sweeps := []NamedSweep{
+		{Name: "static-ssd", Build: warm("ssd0"), Serve: base,
+			Cap: CapacityConfig{StartRPS: 4, StepRPS: 4, MaxRPS: 48, Window: 2 * sim.Second}},
+		{Name: "xdm", Build: warm("ssd0", "rdma0", "dram0"), Serve: base,
+			Cap: CapacityConfig{StartRPS: 100, StepRPS: 100, MaxRPS: 1200, Window: sim.Second}},
+	}
+	results := SweepGrid(sweeps, 2)
+
+	static, xdm := results[0], results[1]
+	if !static.Tripped {
+		t.Fatalf("static sweep never tripped: %+v", static)
+	}
+	if !xdm.Tripped {
+		t.Fatalf("xdm sweep never tripped: %+v", xdm)
+	}
+	if static.MaxSustainableRPS <= 0 || xdm.MaxSustainableRPS <= 0 {
+		t.Fatalf("degenerate knees: static %.0f, xdm %.0f", static.MaxSustainableRPS, xdm.MaxSustainableRPS)
+	}
+	if xdm.MaxSustainableRPS <= static.MaxSustainableRPS {
+		t.Fatalf("xdm capacity %.0f not above static %.0f",
+			xdm.MaxSustainableRPS, static.MaxSustainableRPS)
+	}
+
+	// Render sanity: every configuration section present, knee reported.
+	text := RenderCapacity(results)
+	for _, want := range []string{"static-ssd", "xdm", "max sustainable", "OVERLOAD"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSweepGridWorkerCountInvariant pins the determinism contract: the
+// same sweeps produce deeply equal results at any worker count.
+func TestSweepGridWorkerCountInvariant(t *testing.T) {
+	mk := func() []NamedSweep {
+		base := Config{Templates: RequestTemplates(), SLO: 100 * sim.Millisecond, Seed: 2}
+		cc := CapacityConfig{StartRPS: 50, StepRPS: 50, MaxRPS: 150, Window: 500 * sim.Millisecond}
+		return []NamedSweep{
+			{Name: "a", Build: func() baseline.Env { return warmedEnv("ssd0") }, Serve: base, Cap: cc},
+			{Name: "b", Build: func() baseline.Env { return warmedEnv("ssd0", "rdma0") }, Serve: base, Cap: cc},
+			{Name: "c", Build: func() baseline.Env { return warmedEnv("ssd0", "dram0") }, Serve: base, Cap: cc},
+		}
+	}
+	one := SweepGrid(mk(), 1)
+	many := SweepGrid(mk(), 4)
+	if !reflect.DeepEqual(one, many) {
+		t.Fatalf("worker count changed sweep results:\n%+v\n%+v", one, many)
+	}
+}
+
+// TestServeObservability pins the exported counters against the run's
+// result, and exercises the breaker-transition instants.
+func TestServeObservability(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	env := servingEnv("ssd0", "rdma0")
+	rec := obs.Attach(env.Machine.Eng)
+	PrewarmFleet(env, 4, 2, 4096)
+	dev := env.Machine.Device("rdma0")
+	eng := env.Machine.Eng
+	eng.At(eng.Now().Add(sim.Second), func() { dev.Degrade(5000, 0.01) })
+
+	arr, err := workload.ParseArrival("flash:100:6:1:2", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(env, Config{
+		Templates: RequestTemplates(),
+		Arrivals:  arr,
+		Duration:  4 * sim.Second,
+		Drain:     sim.Second,
+		SLO:       100 * sim.Millisecond,
+		Shedding:  true,
+		Breakers:  true,
+		Retier:    true,
+		Seed:      9,
+	})
+	rec.Seal()
+	if res.BreakerOpens == 0 {
+		t.Fatal("degraded backend did not open a breaker")
+	}
+	for name, want := range map[string]int{
+		"serve/offered":       res.Offered,
+		"serve/admitted":      res.Admitted,
+		"serve/shed":          res.Shed,
+		"serve/completed":     res.Completed,
+		"serve/breaker-opens": res.BreakerOpens,
+	} {
+		if got := rec.Counter(name).Value; got != float64(want) {
+			t.Errorf("counter %s = %v, want %d", name, got, want)
+		}
+	}
+}
+
+// TestQueueBound drives a small overcommitted fleet into deep overload
+// with deadline enforcement off: the bounded queue is the only front-door
+// protection left, and it must refuse at its cap rather than grow.
+func TestQueueBound(t *testing.T) {
+	env := servingEnv("ssd0", "dram0")
+	PrewarmFleet(env, 4, 2, 1024)
+	res := Run(env, Config{
+		Templates:     RequestTemplates(),
+		Arrivals:      workload.Poisson{RPS: 2000},
+		Duration:      3 * sim.Second,
+		Drain:         sim.Second,
+		SLO:           100 * sim.Millisecond,
+		QueueCap:      32,
+		AdmitDeadline: sim.Hour,
+		Seed:          13,
+	})
+	if res.RefusedQueueFull == 0 {
+		t.Fatalf("bounded queue never refused under 2000 rps overload: %+v", res)
+	}
+	if res.MaxQueue > 32 {
+		t.Fatalf("queue grew past its cap: %d", res.MaxQueue)
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+// TestRetierMovesIdleVMsOffSickBackend pins the pre-positioning path: when
+// a breaker condemns a backend, its idle VMs are switched to a healthy one
+// ahead of demand instead of waiting for a dispatch to pay the switch.
+func TestRetierMovesIdleVMsOffSickBackend(t *testing.T) {
+	env := warmedEnv("ssd0", "rdma0")
+	dev := env.Machine.Device("rdma0")
+	eng := env.Machine.Eng
+	eng.At(eng.Now().Add(sim.Second), func() { dev.Degrade(5000, 0.01) })
+	// No recovery: rdma0 stays condemned for the rest of the run.
+
+	res := Run(env, Config{
+		Templates: RequestTemplates(),
+		Arrivals:  workload.Poisson{RPS: 150},
+		Duration:  4 * sim.Second,
+		Drain:     2 * sim.Second,
+		SLO:       200 * sim.Millisecond,
+		Breakers:  true,
+		Retier:    true,
+		Seed:      5,
+	})
+	if res.BreakerOpens == 0 {
+		t.Fatalf("degraded backend never condemned: %+v", res)
+	}
+	if res.Retiers == 0 {
+		t.Fatalf("no idle VM was re-tiered off the condemned backend: %+v", res)
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+func TestPrewarmFleet(t *testing.T) {
+	env := servingEnv("ssd0", "rdma0")
+	PrewarmFleet(env, 4, 2, 4096)
+	vms := env.Machine.VMs()
+	if len(vms) != 4 {
+		t.Fatalf("fleet size %d, want 4", len(vms))
+	}
+	byBackend := map[string]int{}
+	for _, v := range vms {
+		if v.State() != vm.Free {
+			t.Fatalf("VM %s not Free after prewarm: %v", v.Name, v.State())
+		}
+		byBackend[v.ActiveBackend()]++
+	}
+	// Round-robin: 4 VMs over 2 backends → 2 each.
+	if byBackend["ssd0"] != 2 || byBackend["rdma0"] != 2 {
+		t.Fatalf("fleet not spread round-robin: %v", byBackend)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{SLO: 100 * sim.Millisecond}.withDefaults()
+	if c.QueueCap != 256 || c.MaxTasksPerVM != 2 || c.Tick != 50*sim.Millisecond {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if c.AdmitDeadline != c.SLO {
+		t.Fatalf("admit deadline default %v, want SLO %v", c.AdmitDeadline, c.SLO)
+	}
+}

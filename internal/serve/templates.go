@@ -1,0 +1,34 @@
+package serve
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RequestTemplates is the standard pool of serving request shapes: small,
+// hot-concentrated requests sized so thousands fit in a serving window —
+// in open-loop mode the unit of work is a request, not a batch job. Two
+// shapes alternate: a cache-friendly lookup and a scatter-heavy scan, so
+// the fleet sees a mix of swap-friendly and swap-sensitive traffic.
+func RequestTemplates() []cluster.App {
+	lookup := workload.Spec{
+		Name: "req-lookup", Class: workload.AI, MaxMemGiB: 0.25,
+		FootprintPages: 1024, AnonFraction: 1.0, Coverage: 1.0,
+		SegmentLen: 512, SeqShare: 0.1, RunLen: 16,
+		HotShare: 0.1, HotProb: 0.9, WriteFraction: 0.1,
+		ComputePerAccess: 500 * sim.Nanosecond, MainAccesses: 2048,
+		SwapFeature: 'F',
+	}
+	scan := lookup
+	scan.Name = "req-scan"
+	scan.SeqShare = 0.4
+	scan.RunLen = 32
+	scan.HotShare = 0.4
+	scan.HotProb = 0.5
+	scan.MainAccesses = 4096
+	return []cluster.App{
+		{Spec: lookup, SLO: 1.5, Cores: 1},
+		{Spec: scan, SLO: 1.5, Cores: 1},
+	}
+}

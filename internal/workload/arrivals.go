@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/clustertrace"
+	"repro/internal/sim"
+)
+
+// An ArrivalProcess drives an open-loop client: it emits the virtual-time
+// gap until the next request, independent of how the server is keeping up.
+// Implementations are deterministic functions of (now, rng draw), so a
+// seeded run replays the exact same arrival train.
+//
+// Processes are rate-modulated Poisson: at time t the instantaneous rate is
+// Rate(t) requests/second and the gap is an exponential draw at that rate.
+// For the stationary process this is exact; for the time-varying ones it is
+// the standard piecewise approximation (the rate is re-read at every
+// arrival, so modulation faster than the interarrival gap is smoothed).
+type ArrivalProcess interface {
+	// Name labels the process in reports ("poisson(800/s)").
+	Name() string
+	// Rate reports the offered load in requests/second at virtual time t.
+	Rate(t sim.Time) float64
+	// Gap draws the interarrival gap following an arrival at time t.
+	Gap(t sim.Time, rng *rand.Rand) sim.Duration
+}
+
+// expGap draws an exponential gap for rate r req/s, clamped to ≥ 1ns so the
+// event loop always advances.
+func expGap(r float64, rng *rand.Rand) sim.Duration {
+	if r <= 0 {
+		// A silent period: re-probe the rate in 100ms of virtual time.
+		return 100 * sim.Millisecond
+	}
+	g := sim.Duration(rng.ExpFloat64() / r * float64(sim.Second))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Poisson is a stationary open-loop arrival process at RPS requests/second.
+type Poisson struct {
+	RPS float64
+}
+
+// Name implements ArrivalProcess.
+func (p Poisson) Name() string { return fmt.Sprintf("poisson(%g/s)", p.RPS) }
+
+// Rate implements ArrivalProcess.
+func (p Poisson) Rate(sim.Time) float64 { return p.RPS }
+
+// Gap implements ArrivalProcess.
+func (p Poisson) Gap(t sim.Time, rng *rand.Rand) sim.Duration {
+	return expGap(p.RPS, rng)
+}
+
+// Diurnal is a sinusoidally modulated Poisson process: a day-cycle of
+// period Period around BaseRPS, swinging by Amplitude (0..1) of the base.
+type Diurnal struct {
+	BaseRPS   float64
+	Amplitude float64 // fraction of BaseRPS, in [0, 1]
+	Period    sim.Duration
+}
+
+// Name implements ArrivalProcess.
+func (d Diurnal) Name() string {
+	return fmt.Sprintf("diurnal(%g/s ±%d%% over %v)", d.BaseRPS, int(d.Amplitude*100), d.Period)
+}
+
+// Rate implements ArrivalProcess.
+func (d Diurnal) Rate(t sim.Time) float64 {
+	phase := 2 * math.Pi * float64(t) / float64(d.Period)
+	return d.BaseRPS * (1 + d.Amplitude*math.Sin(phase))
+}
+
+// Gap implements ArrivalProcess.
+func (d Diurnal) Gap(t sim.Time, rng *rand.Rand) sim.Duration {
+	return expGap(d.Rate(t), rng)
+}
+
+// FlashCrowd is a stationary Poisson baseline that multiplies by Mult
+// during the burst window [At, At+For) — the "everyone refreshes at once"
+// scenario load shedding exists for.
+type FlashCrowd struct {
+	BaseRPS float64
+	Mult    float64
+	At      sim.Duration
+	For     sim.Duration
+}
+
+// Name implements ArrivalProcess.
+func (f FlashCrowd) Name() string {
+	return fmt.Sprintf("flash(%g/s ×%g @%v for %v)", f.BaseRPS, f.Mult, f.At, f.For)
+}
+
+// Rate implements ArrivalProcess.
+func (f FlashCrowd) Rate(t sim.Time) float64 {
+	if t >= sim.Time(f.At) && t < sim.Time(f.At+f.For) {
+		return f.BaseRPS * f.Mult
+	}
+	return f.BaseRPS
+}
+
+// Gap implements ArrivalProcess.
+func (f FlashCrowd) Gap(t sim.Time, rng *rand.Rand) sim.Duration {
+	return expGap(f.Rate(t), rng)
+}
+
+// TraceReplay modulates a Poisson process by a clustertrace utilization
+// series: the instantaneous rate is PeakRPS × u(t), replaying the shape of
+// a production day (Alibaba 2017/2018 statistics) against the server.
+type TraceReplay struct {
+	TraceName string
+	PeakRPS   float64
+	Step      sim.Duration // virtual time per series point
+	Series    []float64    // utilizations in (0, 1]
+}
+
+// NewTraceReplay samples a clustertrace diurnal series and wraps it as an
+// arrival process: points samples spaced step apart, looped when the
+// simulation outruns the series.
+func NewTraceReplay(p clustertrace.Profile, points int, step sim.Duration, peakRPS float64, seed int64) TraceReplay {
+	return TraceReplay{
+		TraceName: p.Name,
+		PeakRPS:   peakRPS,
+		Step:      step,
+		Series:    clustertrace.Series(p, points, seed),
+	}
+}
+
+// Name implements ArrivalProcess.
+func (tr TraceReplay) Name() string {
+	return fmt.Sprintf("trace(%s peak %g/s)", tr.TraceName, tr.PeakRPS)
+}
+
+// Rate implements ArrivalProcess.
+func (tr TraceReplay) Rate(t sim.Time) float64 {
+	if len(tr.Series) == 0 || tr.Step <= 0 {
+		return 0
+	}
+	i := int(t/sim.Time(tr.Step)) % len(tr.Series)
+	return tr.PeakRPS * tr.Series[i]
+}
+
+// Gap implements ArrivalProcess.
+func (tr TraceReplay) Gap(t sim.Time, rng *rand.Rand) sim.Duration {
+	return expGap(tr.Rate(t), rng)
+}
+
+// ParseArrival builds an arrival process from a CLI spec string:
+//
+//	poisson:RPS                  stationary, e.g. poisson:800
+//	diurnal:RPS:AMP:PERIOD_S     sinusoid, e.g. diurnal:800:0.5:60
+//	flash:RPS:MULT:AT_S:FOR_S    burst, e.g. flash:400:8:5:2
+//	trace:2017|2018:PEAK_RPS     Alibaba replay, e.g. trace:2018:600
+//
+// Rates are requests/second and times are seconds of virtual time. seed
+// feeds the trace-replay series sampler (the other processes take their
+// randomness from the caller's rng at run time).
+func ParseArrival(spec string, seed int64) (ArrivalProcess, error) {
+	parts := strings.Split(spec, ":")
+	bad := func(format string, args ...any) (ArrivalProcess, error) {
+		return nil, fmt.Errorf("arrival spec %q: %s", spec, fmt.Sprintf(format, args...))
+	}
+	num := func(s, what string) (float64, error) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("arrival spec %q: %s %q is not a number", spec, what, s)
+		}
+		return v, nil
+	}
+	rate := func(s string) (float64, error) {
+		v, err := num(s, "rate")
+		if err != nil {
+			return 0, err
+		}
+		if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return 0, fmt.Errorf("arrival spec %q: rate must be a positive finite requests/second (got %s)", spec, s)
+		}
+		return v, nil
+	}
+	switch parts[0] {
+	case "poisson":
+		if len(parts) != 2 {
+			return bad("want poisson:RPS")
+		}
+		r, err := rate(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return Poisson{RPS: r}, nil
+	case "diurnal":
+		if len(parts) != 4 {
+			return bad("want diurnal:RPS:AMP:PERIOD_S")
+		}
+		r, err := rate(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		amp, err := num(parts[2], "amplitude")
+		if err != nil {
+			return nil, err
+		}
+		if amp < 0 || amp > 1 {
+			return bad("amplitude must be in [0, 1] (got %g)", amp)
+		}
+		period, err := num(parts[3], "period")
+		if err != nil {
+			return nil, err
+		}
+		if period <= 0 {
+			return bad("period must be positive seconds (got %g)", period)
+		}
+		return Diurnal{BaseRPS: r, Amplitude: amp, Period: sim.DurationOf(period)}, nil
+	case "flash":
+		if len(parts) != 5 {
+			return bad("want flash:RPS:MULT:AT_S:FOR_S")
+		}
+		r, err := rate(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		mult, err := num(parts[2], "multiplier")
+		if err != nil {
+			return nil, err
+		}
+		if mult < 1 {
+			return bad("multiplier must be ≥ 1 (got %g)", mult)
+		}
+		at, err := num(parts[3], "burst start")
+		if err != nil {
+			return nil, err
+		}
+		dur, err := num(parts[4], "burst duration")
+		if err != nil {
+			return nil, err
+		}
+		if at < 0 || dur <= 0 {
+			return bad("burst start must be ≥ 0 and duration > 0 (got %g, %g)", at, dur)
+		}
+		return FlashCrowd{BaseRPS: r, Mult: mult, At: sim.DurationOf(at), For: sim.DurationOf(dur)}, nil
+	case "trace":
+		if len(parts) != 3 {
+			return bad("want trace:2017|2018:PEAK_RPS")
+		}
+		var p clustertrace.Profile
+		switch parts[1] {
+		case "2017":
+			p = clustertrace.Alibaba2017()
+		case "2018":
+			p = clustertrace.Alibaba2018()
+		default:
+			return bad("unknown trace %q (want 2017 or 2018)", parts[1])
+		}
+		r, err := rate(parts[2])
+		if err != nil {
+			return nil, err
+		}
+		// One simulated "day" of 120 points spaced 1s apart, looped.
+		return NewTraceReplay(p, 120, sim.Second, r, seed), nil
+	default:
+		return bad("unknown kind %q (want poisson, diurnal, flash, or trace)", parts[0])
+	}
+}

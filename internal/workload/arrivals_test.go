@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// drainMean draws n gaps from p starting at t0 and reports the empirical
+// arrival rate over the drawn span.
+func drainMean(t *testing.T, p ArrivalProcess, t0 sim.Time, n int, seed int64) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	now := t0
+	for i := 0; i < n; i++ {
+		g := p.Gap(now, rng)
+		if g < 1 {
+			t.Fatalf("gap %v < 1ns at %v", g, now)
+		}
+		now = now.Add(g)
+	}
+	span := now.Sub(t0).Seconds()
+	return float64(n) / span
+}
+
+func TestPoissonMatchesRate(t *testing.T) {
+	p := Poisson{RPS: 500}
+	got := drainMean(t, p, 0, 20000, 1)
+	if math.Abs(got-500)/500 > 0.05 {
+		t.Fatalf("empirical rate %.1f, want ≈500", got)
+	}
+}
+
+func TestDiurnalSwingsAroundBase(t *testing.T) {
+	d := Diurnal{BaseRPS: 400, Amplitude: 0.5, Period: 10 * sim.Second}
+	// Peak quarter vs trough quarter of the cycle.
+	peak := d.Rate(sim.Time(2500 * sim.Millisecond))   // sin ≈ 1
+	trough := d.Rate(sim.Time(7500 * sim.Millisecond)) // sin ≈ -1
+	if math.Abs(peak-600) > 1 || math.Abs(trough-200) > 1 {
+		t.Fatalf("peak %.1f trough %.1f, want ≈600/≈200", peak, trough)
+	}
+	if got := drainMean(t, d, 0, 20000, 2); math.Abs(got-400)/400 > 0.10 {
+		t.Fatalf("empirical mean rate %.1f, want ≈400", got)
+	}
+}
+
+func TestFlashCrowdWindow(t *testing.T) {
+	f := FlashCrowd{BaseRPS: 100, Mult: 8, At: 5 * sim.Second, For: 2 * sim.Second}
+	if r := f.Rate(sim.Time(1 * sim.Second)); r != 100 {
+		t.Fatalf("pre-burst rate %v", r)
+	}
+	if r := f.Rate(sim.Time(6 * sim.Second)); r != 800 {
+		t.Fatalf("in-burst rate %v", r)
+	}
+	if r := f.Rate(sim.Time(8 * sim.Second)); r != 100 {
+		t.Fatalf("post-burst rate %v", r)
+	}
+	// Boundary semantics: [At, At+For).
+	if r := f.Rate(sim.Time(5 * sim.Second)); r != 800 {
+		t.Fatalf("burst start rate %v", r)
+	}
+	if r := f.Rate(sim.Time(7 * sim.Second)); r != 100 {
+		t.Fatalf("burst end rate %v", r)
+	}
+}
+
+func TestTraceReplayLoopsAndScales(t *testing.T) {
+	tr, err := ParseArrival("trace:2018:600", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tr.(TraceReplay)
+	if len(rep.Series) != 120 {
+		t.Fatalf("series length %d", len(rep.Series))
+	}
+	for i, u := range rep.Series {
+		if u <= 0 || u > 1 {
+			t.Fatalf("series[%d]=%v outside (0,1]", i, u)
+		}
+	}
+	// Rates loop: t and t + len*step see the same point.
+	loop := sim.Time(120 * sim.Second)
+	if a, b := rep.Rate(3*sim.Time(sim.Second)), rep.Rate(loop+3*sim.Time(sim.Second)); a != b {
+		t.Fatalf("rate does not loop: %v vs %v", a, b)
+	}
+	if r := rep.Rate(0); r <= 0 || r > 600 {
+		t.Fatalf("rate %v outside (0, peak]", r)
+	}
+}
+
+func TestArrivalDeterministicReplay(t *testing.T) {
+	for _, spec := range []string{"poisson:800", "diurnal:800:0.5:60", "flash:400:8:5:2", "trace:2017:300"} {
+		p1, err := ParseArrival(spec, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, _ := ParseArrival(spec, 9)
+		r1 := rand.New(rand.NewSource(42))
+		r2 := rand.New(rand.NewSource(42))
+		now1, now2 := sim.Time(0), sim.Time(0)
+		for i := 0; i < 1000; i++ {
+			g1, g2 := p1.Gap(now1, r1), p2.Gap(now2, r2)
+			if g1 != g2 {
+				t.Fatalf("%s: gap %d differs: %v vs %v", spec, i, g1, g2)
+			}
+			now1, now2 = now1.Add(g1), now2.Add(g2)
+		}
+	}
+}
+
+func TestParseArrivalErrors(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"", "unknown kind"},
+		{"bogus:100", "unknown kind"},
+		{"poisson", "want poisson:RPS"},
+		{"poisson:abc", "not a number"},
+		{"poisson:-5", "positive finite"},
+		{"poisson:0", "positive finite"},
+		{"poisson:+Inf", "positive finite"},
+		{"diurnal:100:0.5", "want diurnal"},
+		{"diurnal:100:1.5:60", "amplitude"},
+		{"diurnal:100:0.5:0", "period"},
+		{"flash:100:8:5", "want flash"},
+		{"flash:100:0.5:5:2", "multiplier"},
+		{"flash:100:8:-1:2", "burst start"},
+		{"flash:-100:8:5:2", "positive finite"},
+		{"trace:1999:100", "unknown trace"},
+		{"trace:2018", "want trace"},
+	}
+	for _, c := range cases {
+		if _, err := ParseArrival(c.spec, 1); err == nil {
+			t.Errorf("%q: no error", c.spec)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestParseArrivalValid(t *testing.T) {
+	for _, spec := range []string{"poisson:800", "diurnal:800:0:60", "flash:400:1:0:2", "trace:2018:600"} {
+		p, err := ParseArrival(spec, 1)
+		if err != nil {
+			t.Errorf("%q: %v", spec, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("%q: empty name", spec)
+		}
+	}
+}
