@@ -19,6 +19,7 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/sim"
 )
 
 // perExpFile derives the per-experiment output file from a stem path:
@@ -61,6 +62,8 @@ func main() {
 		format  = flag.String("format", "text", "output format: text | md | csv")
 		workers = flag.Int("workers", experiments.DefaultWorkers(),
 			"worker goroutines per experiment grid (output is identical for any count)")
+		shards = flag.Int("shards", 1,
+			"shard workers inside each datacenter-arena simulation (output is identical for any count)")
 		invariants = flag.Bool("invariants", false,
 			"enable runtime invariant checks; per-check counts are reported on stderr")
 		traceOut = flag.String("trace", "",
@@ -96,6 +99,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xdmbench: -scale must be a positive integer (got %d)\n", *scale)
 		os.Exit(2)
 	}
+	if *shards <= 0 {
+		fmt.Fprintf(os.Stderr, "xdmbench: -shards must be a positive integer (got %d)\n", *shards)
+		os.Exit(2)
+	}
 	if *seed < 0 {
 		fmt.Fprintf(os.Stderr, "xdmbench: -seed must be non-negative (got %d)\n", *seed)
 		os.Exit(2)
@@ -120,12 +127,15 @@ func main() {
 	}
 
 	if *capacity {
-		opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
+		opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards}
 		start := time.Now()
 		fmt.Fprintf(w, "xDM open-loop capacity sweep (scale=%d seed=%d)\n\n", *scale, *seed)
-		fmt.Fprint(w, serve.RenderCapacity(serve.SweepGrid(experiments.ServingSweeps(opts), *workers)))
+		sweeps := append(experiments.ServingSweeps(opts), experiments.ArenaSweeps(opts)...)
+		sim.ResetShardRunTotals()
+		fmt.Fprint(w, serve.RenderCapacity(serve.SweepGrid(sweeps, *workers)))
 		fmt.Fprintf(os.Stderr, "[capacity sweep done in %v with %d workers]\n",
 			time.Since(start).Round(time.Millisecond), *workers)
+		reportShardTotals()
 		if f != nil {
 			fmt.Fprintf(os.Stderr, "results written to %s\n", *out)
 		}
@@ -161,9 +171,10 @@ func main() {
 		obs.Capture()
 	}
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards}
 	fmt.Fprintf(w, "xDM reproduction — full evaluation (scale=%d seed=%d)\n\n", *scale, *seed)
 	experiments.ResetGridCellTime()
+	sim.ResetShardRunTotals()
 	wallStart := time.Now()
 	for _, id := range ids {
 		start := time.Now()
@@ -211,7 +222,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, ", %.2fx effective parallelism", cell.Seconds()/wall.Seconds())
 	}
 	fmt.Fprintln(os.Stderr, ")")
+	reportShardTotals()
 	if f != nil {
 		fmt.Fprintf(os.Stderr, "results written to %s\n", *out)
 	}
+}
+
+// reportShardTotals summarizes sharded-kernel execution on stderr: aggregate
+// events per wall-clock second and the effective shard parallelism (busy
+// time across shard workers over group wall time). Silent when no sharded
+// simulation ran.
+func reportShardTotals() {
+	st := sim.ShardRunTotals()
+	if st.Events == 0 || st.Wall <= 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "sharded kernel: %d events in %v (%.0f events/sec, %.2fx effective shard parallelism)\n",
+		st.Events, st.Wall.Round(time.Millisecond),
+		float64(st.Events)/st.Wall.Seconds(), st.Busy.Seconds()/st.Wall.Seconds())
 }

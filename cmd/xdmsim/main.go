@@ -50,6 +50,8 @@ func main() {
 
 		workers = flag.Int("workers", experiments.DefaultWorkers(),
 			"worker goroutines per experiment grid (output is identical for any count)")
+		shards = flag.Int("shards", 1,
+			"shard workers inside each datacenter-arena simulation (output is identical for any count)")
 		invariants = flag.Bool("invariants", false,
 			"enable runtime invariant checks; per-check counts are reported on stderr")
 		traceOut = flag.String("trace", "",
@@ -78,6 +80,11 @@ func main() {
 	if *workers <= 0 {
 		fmt.Fprintf(os.Stderr, "xdmsim: -workers must be a positive integer (got %d)\n", *workers)
 		fmt.Fprintln(os.Stderr, "usage: xdmsim -exp <id>|all | -custom specs.json [-scale N] [-seed N] [-workers N]; -list shows ids")
+		os.Exit(2)
+	}
+	if *shards <= 0 {
+		fmt.Fprintf(os.Stderr, "xdmsim: -shards must be a positive integer (got %d)\n", *shards)
+		fmt.Fprintln(os.Stderr, "usage: xdmsim -exp <id>|all | -custom specs.json [-scale N] [-seed N] [-shards N]; -list shows ids")
 		os.Exit(2)
 	}
 
@@ -155,7 +162,7 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards}
 	if serveArr != nil {
 		for _, tb := range experiments.ServingOnce(opts, serveArr, sim.Duration(*serveSLO), sim.Duration(*serveFor)) {
 			tb.Render(os.Stdout)

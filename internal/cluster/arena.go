@@ -1,0 +1,110 @@
+package cluster
+
+import "fmt"
+
+// ArenaView is the dispatcher's cached picture of every node's free
+// resources in a sharded datacenter arena (see internal/datacenter's Arena).
+// The dispatcher runs on its own simulation shard and must never read node
+// state synchronously — a cross-shard read would break the conservative
+// lookahead contract — so it places against this view, debits it optimistically
+// at dispatch time, and credits it back when a node's completion report
+// arrives. The view therefore lags reality by the report latency, exactly
+// like a real cluster scheduler's heartbeat-fed cache.
+type ArenaView struct {
+	cores []int
+	pages []int
+
+	coresPerNode int
+	pagesPerNode int
+
+	// peakPages tracks each node's maximum page commitment, for computing
+	// memory-balance effectiveness over the run's high-water marks.
+	peakPages []int
+}
+
+// NewArenaView builds a view of n identical nodes.
+func NewArenaView(n, coresPerNode, pagesPerNode int) *ArenaView {
+	if n <= 0 {
+		panic("cluster: arena view needs at least one node")
+	}
+	v := &ArenaView{
+		cores:        make([]int, n),
+		pages:        make([]int, n),
+		coresPerNode: coresPerNode,
+		pagesPerNode: pagesPerNode,
+		peakPages:    make([]int, n),
+	}
+	for i := range v.cores {
+		v.cores[i] = coresPerNode
+		v.pages[i] = pagesPerNode
+	}
+	return v
+}
+
+// Nodes reports the number of nodes in the view.
+func (v *ArenaView) Nodes() int { return len(v.cores) }
+
+// Place picks a node for a task needing the given resources, or -1 when no
+// node fits. The policy is worst-fit spreading on cores (the node with the
+// most free cores wins; free pages break ties, then the lowest index), which
+// levels memory pressure across the fleet — the placement half of the
+// paper's balance story, with the lending half layered on by MBE balancing.
+// Deterministic by construction: no randomness, stable tie-breaks.
+func (v *ArenaView) Place(cores, pages int) int {
+	best := -1
+	for i := range v.cores {
+		if v.cores[i] < cores || v.pages[i] < pages {
+			continue
+		}
+		if best < 0 || v.cores[i] > v.cores[best] ||
+			(v.cores[i] == v.cores[best] && v.pages[i] > v.pages[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Reserve debits node i for a dispatched task. Overdrawing panics: the
+// dispatcher must only reserve what Place said fits.
+func (v *ArenaView) Reserve(i, cores, pages int) {
+	v.cores[i] -= cores
+	v.pages[i] -= pages
+	if v.cores[i] < 0 || v.pages[i] < 0 {
+		panic(fmt.Sprintf("cluster: arena view node %d overdrawn (%d cores, %d pages free)",
+			i, v.cores[i], v.pages[i]))
+	}
+	if used := v.pagesPerNode - v.pages[i]; used > v.peakPages[i] {
+		v.peakPages[i] = used
+	}
+}
+
+// Release credits node i after a completion report. Releasing more than was
+// reserved panics.
+func (v *ArenaView) Release(i, cores, pages int) {
+	v.cores[i] += cores
+	v.pages[i] += pages
+	if v.cores[i] > v.coresPerNode || v.pages[i] > v.pagesPerNode {
+		panic(fmt.Sprintf("cluster: arena view node %d released above capacity (%d cores, %d pages free)",
+			i, v.cores[i], v.pages[i]))
+	}
+}
+
+// Utilizations snapshots the current memory utilization per node.
+func (v *ArenaView) Utilizations() []float64 {
+	out := make([]float64, len(v.pages))
+	for i := range v.pages {
+		out[i] = float64(v.pagesPerNode-v.pages[i]) / float64(v.pagesPerNode)
+	}
+	return out
+}
+
+// PeakUtilizations reports each node's high-water memory utilization, the
+// input to MBE over the run (instantaneous snapshots at the end of a run
+// are mostly idle and say nothing about balance under load).
+func (v *ArenaView) PeakUtilizations() []float64 {
+	out := make([]float64, len(v.peakPages))
+	for i := range v.peakPages {
+		out[i] = float64(v.peakPages[i]) / float64(v.pagesPerNode)
+	}
+	return out
+}

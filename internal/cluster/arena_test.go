@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestArenaViewPlaceSpreads(t *testing.T) {
+	v := NewArenaView(3, 4, 100)
+	// Worst-fit on cores: placements rotate while capacity is equal.
+	got := []int{}
+	for i := 0; i < 3; i++ {
+		n := v.Place(1, 10)
+		got = append(got, n)
+		v.Reserve(n, 1, 10)
+	}
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("placements %v, want %v", got, want)
+	}
+	// Node 1 freed first becomes the emptiest and wins the next placement.
+	v.Release(1, 1, 10)
+	if n := v.Place(1, 10); n != 1 {
+		t.Fatalf("placed on %d, want the emptiest node 1", n)
+	}
+}
+
+func TestArenaViewPlaceRespectsLimits(t *testing.T) {
+	v := NewArenaView(2, 2, 100)
+	if n := v.Place(3, 10); n != -1 {
+		t.Fatalf("placed a 3-core task on 2-core nodes (node %d)", n)
+	}
+	if n := v.Place(1, 101); n != -1 {
+		t.Fatalf("placed a 101-page task on 100-page nodes (node %d)", n)
+	}
+	v.Reserve(0, 2, 100)
+	v.Reserve(1, 2, 100)
+	if n := v.Place(1, 1); n != -1 {
+		t.Fatalf("placed on a full cluster (node %d)", n)
+	}
+}
+
+func TestArenaViewAccountingPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("overdraw", func() {
+		v := NewArenaView(1, 2, 10)
+		v.Reserve(0, 3, 5)
+	})
+	mustPanic("over-release", func() {
+		v := NewArenaView(1, 2, 10)
+		v.Release(0, 1, 1)
+	})
+	mustPanic("empty view", func() { NewArenaView(0, 1, 1) })
+}
+
+func TestArenaViewUtilizations(t *testing.T) {
+	v := NewArenaView(2, 4, 100)
+	v.Reserve(0, 1, 50)
+	u := v.Utilizations()
+	if u[0] != 0.5 || u[1] != 0 {
+		t.Fatalf("utilizations %v", u)
+	}
+	// Peak survives release.
+	v.Reserve(0, 1, 25)
+	v.Release(0, 2, 75)
+	p := v.PeakUtilizations()
+	if p[0] != 0.75 || p[1] != 0 {
+		t.Fatalf("peaks %v", p)
+	}
+	if got := v.Utilizations()[0]; got != 0 {
+		t.Fatalf("node 0 utilization %v after full release", got)
+	}
+	if v.Nodes() != 2 {
+		t.Fatalf("Nodes = %d", v.Nodes())
+	}
+}

@@ -53,7 +53,9 @@ func TestParallelWorkersDeterministic(t *testing.T) {
 	// fig16 regressed once via map-ordered Machine.BackendNames — keep it in
 	// this list. serving is the open-loop sweep: its breaker backoff and
 	// arrival trains are seeded per-cell and must not share global state.
-	for _, id := range []string{"fig5a", "fig16", "fig17", "ablation", "serving"} {
+	// arena exercises the second parallelism axis too: grid workers outside,
+	// a serial shard group inside each cell.
+	for _, id := range []string{"fig5a", "fig16", "fig17", "ablation", "serving", "arena"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -101,6 +101,12 @@ type Options struct {
 	// byte-identical for any worker count: parallelism is across runs,
 	// never inside one.
 	Workers int
+	// ShardWorkers shards the datacenter arena's event kernel by node
+	// domain and runs that many shard workers *inside* one simulation
+	// (see sim.Shards). 0 or 1 is a single serial shard. Output is
+	// byte-identical for any value: cross-shard events merge at
+	// deterministic lookahead barriers in canonical order.
+	ShardWorkers int
 }
 
 // DefaultOptions is full fidelity, serial.
@@ -115,6 +121,9 @@ func (o Options) normalize() Options {
 	}
 	if o.Workers < 1 {
 		o.Workers = 1
+	}
+	if o.ShardWorkers < 1 {
+		o.ShardWorkers = 1
 	}
 	return o
 }

@@ -56,24 +56,23 @@ type CapacityResult struct {
 	Points  []CapacityPoint
 }
 
-// Sweep is one configuration's capacity discovery: build a fresh
-// environment per rung (each rung is an independent simulation — no state
-// bleeds between load levels), serve a Poisson window at the rung's rate,
-// and stop at the first rung that trips the overload signal. Rungs are
-// inherently sequential; parallelism lives across configurations (see
+// RungRunner runs one rung of a capacity ramp — a fresh, independent
+// simulation at the given offered rate over the given arrival window — and
+// reports the serving outcome. It abstracts the system under test away from
+// the ramp logic, so capacity discovery applies equally to a baseline.Env
+// fleet and to a sharded datacenter arena.
+type RungRunner func(rps float64, window, drain sim.Duration) Result
+
+// SweepFunc is capacity discovery over any rung runner: serve a Poisson
+// window at each ramp rate and stop at the first rung that trips the
+// overload signal. Rungs are inherently sequential (each rung decides
+// whether the next runs); parallelism lives across configurations (see
 // SweepGrid).
-func Sweep(name string, build func() baseline.Env, base Config, cc CapacityConfig) CapacityResult {
+func SweepFunc(name string, run RungRunner, cc CapacityConfig) CapacityResult {
 	cc = cc.withDefaults()
 	out := CapacityResult{Name: name}
 	for rps := cc.StartRPS; rps <= cc.MaxRPS+1e-9; rps += cc.StepRPS {
-		cfg := base
-		cfg.Arrivals = workload.Poisson{RPS: rps}
-		cfg.Duration = cc.Window
-		if cfg.Drain <= 0 {
-			cfg.Drain = cc.Window / 4
-		}
-		env := build()
-		res := Run(env, cfg)
+		res := run(rps, cc.Window, cc.Window/4)
 		ok := res.SLOViolationFrac <= cc.MaxViolationFrac && res.ShedRate <= cc.MaxShedRate
 		out.Points = append(out.Points, CapacityPoint{OfferedRPS: rps, Sustainable: ok, Result: res})
 		if !ok {
@@ -88,12 +87,32 @@ func Sweep(name string, build func() baseline.Env, base Config, cc CapacityConfi
 	return out
 }
 
+// Sweep is one fleet configuration's capacity discovery: build a fresh
+// environment per rung (each rung is an independent simulation — no state
+// bleeds between load levels) and ramp until overload.
+func Sweep(name string, build func() baseline.Env, base Config, cc CapacityConfig) CapacityResult {
+	return SweepFunc(name, func(rps float64, window, drain sim.Duration) Result {
+		cfg := base
+		cfg.Arrivals = workload.Poisson{RPS: rps}
+		cfg.Duration = window
+		if cfg.Drain <= 0 {
+			cfg.Drain = drain
+		}
+		return Run(build(), cfg)
+	}, cc)
+}
+
 // NamedSweep pairs a configuration with its sweep parameters for SweepGrid.
+// Exactly one of Build (a serving fleet swept through Run) or RunRung (an
+// arbitrary rung runner, e.g. a sharded arena) must be set.
 type NamedSweep struct {
 	Name  string
 	Build func() baseline.Env
 	Serve Config
 	Cap   CapacityConfig
+
+	// RunRung, when non-nil, replaces the Build/Serve fleet path.
+	RunRung RungRunner
 }
 
 // SweepGrid runs several configuration sweeps, fanned out over workers.
@@ -116,7 +135,11 @@ func SweepGrid(sweeps []NamedSweep, workers int) []CapacityResult {
 		go func() {
 			for i := range jobs {
 				s := sweeps[i]
-				results[i] = Sweep(s.Name, s.Build, s.Serve, s.Cap)
+				if s.RunRung != nil {
+					results[i] = SweepFunc(s.Name, s.RunRung, s.Cap)
+				} else {
+					results[i] = Sweep(s.Name, s.Build, s.Serve, s.Cap)
+				}
 			}
 			done <- struct{}{}
 		}()

@@ -40,6 +40,54 @@ func BenchmarkEngineCancel(b *testing.B) {
 	eng.Run()
 }
 
+// BenchmarkEngineCancelAllCancelled is the worst-case tombstone shape: a
+// large heap where every event gets cancelled and nothing drains it. Without
+// compaction the heap keeps absorbing tombstones and every later schedule
+// sifts through the graveyard; with compaction the shape recovers in
+// amortized O(1) per cancel while the schedule path stays zero-alloc.
+func BenchmarkEngineCancelAllCancelled(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := eng.After(Duration(i%1000), fn)
+		h.Cancel(eng)
+	}
+	eng.Run()
+}
+
+// BenchmarkShardsWindowed measures the sharded kernel end to end: four
+// shards running local event chains with periodic keyed cross-shard sends,
+// synchronized by lookahead windows. Driven with one worker so the number is
+// pure kernel overhead (windows, barriers, merge), comparable across
+// machines regardless of core count.
+func BenchmarkShardsWindowed(b *testing.B) {
+	b.ReportAllocs()
+	s := NewShards(4, 100)
+	counters := make([]uint64, 4)
+	remaining := b.N
+	for i := 0; i < 4; i++ {
+		i := i
+		var tick func()
+		tick = func() {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			if remaining%64 == 0 {
+				dst := (i + 1) % 4
+				counters[i]++
+				s.Send(i, dst, 100, uint64(i+1)<<32|counters[i], func() {})
+			}
+			s.Engine(i).After(Duration(10+i), tick)
+		}
+		s.Engine(i).At(Time(i), tick)
+	}
+	b.ResetTimer()
+	s.Run(1)
+}
+
 // BenchmarkEngineChurn is the timer-wheel-ish workload: a fixed population
 // of timers where every firing reschedules itself, the pattern device
 // channels and retry timeouts produce. Measures fire+reschedule cost.

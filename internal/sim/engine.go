@@ -51,8 +51,13 @@ type Engine struct {
 	// maintenance on every sift.
 	slots     []eventSlot
 	freeSlots []int32
-	live      int // pending events not yet cancelled
-	stopped   bool
+	// genBase is the generation fresh slots start from. It advances past
+	// every generation ever issued when the slot table is released after a
+	// burst (see maybeTrim), so a Handle into the old table can never
+	// match a slot of the new one.
+	genBase uint64
+	live    int // pending events not yet cancelled
+	stopped bool
 	// processed counts events executed, exposed for tests and runaway guards.
 	processed uint64
 	// stepHook, when set, observes every fired event (see SetStepHook).
@@ -117,6 +122,12 @@ type Handle struct {
 // are explicit no-ops: the generation stamp no longer matches (or the
 // cancelled bit is already set), so Cancel returns false without touching
 // the heap.
+//
+// Cancellation is lazy — only a bit flips here — but when tombstones come to
+// dominate the heap (more dead than live entries) the heap is compacted in
+// one O(n) pass, so a cancel-heavy phase cannot leave the schedule path
+// sifting through a graveyard. The compaction cost is amortized: it removes
+// more than half the heap, so each cancelled event pays O(1) extra.
 func (h Handle) Cancel(e *Engine) bool {
 	if h.gen == 0 || int(h.slot) >= len(e.slots) {
 		return false
@@ -127,7 +138,38 @@ func (h Handle) Cancel(e *Engine) bool {
 	}
 	s.cancelled = true
 	e.live--
+	if n := len(e.heap); n >= compactMinHeap && n-e.live > n/2 {
+		e.compact()
+	}
 	return true
+}
+
+// compactMinHeap is the heap size below which tombstone compaction is not
+// worth the rebuild; tiny heaps drain tombstones through peekLive anyway.
+const compactMinHeap = 64
+
+// compact drops every tombstone from the heap in one pass and restores the
+// heap order of the survivors. Pop order is fully determined by (at, seq),
+// so compaction is invisible to the simulation: only memory and sift depth
+// change.
+func (e *Engine) compact() {
+	h := e.heap
+	k := 0
+	for _, ev := range h {
+		if e.slots[ev.slot].cancelled {
+			e.freeSlot(ev.slot)
+			continue
+		}
+		h[k] = ev
+		k++
+	}
+	for i := k; i < len(h); i++ {
+		h[i] = event{} // drop fn references of removed tombstones
+	}
+	e.heap = h[:k]
+	for i := (k - 2) >> 2; i >= 0; i-- {
+		e.siftDown(i, e.heap[i])
+	}
 }
 
 // allocSlot returns a slot index for a new event, recycling freed slots.
@@ -138,7 +180,10 @@ func (e *Engine) allocSlot() int32 {
 		e.slots[slot].cancelled = false
 		return slot
 	}
-	e.slots = append(e.slots, eventSlot{gen: 1})
+	if e.genBase == 0 {
+		e.genBase = 1
+	}
+	e.slots = append(e.slots, eventSlot{gen: e.genBase})
 	return int32(len(e.slots) - 1)
 }
 
@@ -147,6 +192,28 @@ func (e *Engine) allocSlot() int32 {
 func (e *Engine) freeSlot(slot int32) {
 	e.slots[slot].gen++
 	e.freeSlots = append(e.freeSlots, slot)
+}
+
+// deliverySeqBase is the sequence band for cross-shard deliveries (see
+// atKeyed). Local events use the engine's monotone counter, which can never
+// reach 2^63, so the two bands cannot collide.
+const deliverySeqBase = uint64(1) << 63
+
+// atKeyed schedules a cross-shard delivery at absolute time t, ordered at
+// that instant by key instead of by scheduling order: delivery sequence
+// numbers live in a band above every local sequence number, so same-instant
+// ordering on any engine is "local events first, then deliveries in key
+// order" — a rule that does not depend on *when* the delivery was merged in,
+// which is what makes sharded runs byte-identical across shard and worker
+// counts (see Shards). Keys must be unique per (engine, instant) and stay
+// below 2^63.
+func (e *Engine) atKeyed(t Time, key uint64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: delivering event at %v before now %v", t, e.now))
+	}
+	slot := e.allocSlot()
+	e.push(event{at: t, seq: deliverySeqBase | key, slot: slot, fn: fn})
+	e.live++
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
@@ -201,32 +268,37 @@ func (e *Engine) pop() event {
 	h[n] = event{} // drop the fn reference
 	e.heap = h[:n]
 	if n > 0 {
-		h = e.heap
-		i := 0
-		for {
-			c := i<<2 + 1
-			if c >= n {
-				break
-			}
-			m := c
-			end := c + 4
-			if end > n {
-				end = n
-			}
-			for j := c + 1; j < end; j++ {
-				if h[j].at < h[m].at || (h[j].at == h[m].at && h[j].seq < h[m].seq) {
-					m = j
-				}
-			}
-			if last.at < h[m].at || (last.at == h[m].at && last.seq < h[m].seq) {
-				break
-			}
-			h[i] = h[m]
-			i = m
-		}
-		h[i] = last
+		e.siftDown(0, last)
 	}
 	return top
+}
+
+// siftDown places v into the heap starting from the hole at index i.
+func (e *Engine) siftDown(i int, v event) {
+	h := e.heap
+	n := len(h)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h[j].at < h[m].at || (h[j].at == h[m].at && h[j].seq < h[m].seq) {
+				m = j
+			}
+		}
+		if v.at < h[m].at || (v.at == h[m].at && v.seq < h[m].seq) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = v
 }
 
 // peekLive drops cancelled tombstones off the heap top and reports the next
@@ -274,6 +346,7 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run() {
 	for e.Step() {
 	}
+	e.maybeTrim()
 }
 
 // RunUntil executes events with timestamps <= t, then advances the clock to
@@ -289,6 +362,54 @@ func (e *Engine) RunUntil(t Time) {
 	if e.now < t {
 		e.now = t
 	}
+	e.maybeTrim()
+}
+
+// trimSlotThreshold is the slot-table size beyond which a fully drained
+// engine releases its heap and slot storage. Steady-state workloads (a few
+// hundred concurrent events) never cross it, so the zero-alloc schedule path
+// is untouched; a burst that pinned tens of thousands of slots is given back
+// to the allocator once the burst drains instead of being held for the life
+// of the engine.
+const trimSlotThreshold = 4096
+
+// maybeTrim releases the heap, slot table, and free lists after a full drain
+// if a past burst left them oversized. Only safe when nothing is pending:
+// every slot is then free, and advancing genBase past every generation ever
+// issued keeps stale Handles into the old table from matching the new one.
+func (e *Engine) maybeTrim() {
+	if e.live != 0 || len(e.heap) != 0 || len(e.slots) <= trimSlotThreshold {
+		return
+	}
+	for i := range e.slots {
+		if g := e.slots[i].gen; g >= e.genBase {
+			e.genBase = g + 1
+		}
+	}
+	e.slots, e.freeSlots, e.heap = nil, nil, nil
+}
+
+// nextLiveEvent reports the next pending event without executing it.
+func (e *Engine) nextLiveEvent() (at Time, ok bool) {
+	ev, ok := e.peekLive()
+	return ev.at, ok
+}
+
+// runWindow executes pending events with timestamps strictly below limit —
+// one shard's share of a conservative lookahead window (see Shards). The
+// clock is left at the last fired event; it is not advanced to the window
+// edge, so the next window start is still derived from real event times.
+func (e *Engine) runWindow(limit Time) int {
+	n := 0
+	for !e.stopped {
+		ev, ok := e.peekLive()
+		if !ok || ev.at >= limit {
+			break
+		}
+		e.Step()
+		n++
+	}
+	return n
 }
 
 // Stop halts Run/RunUntil after the current event returns. Pending events

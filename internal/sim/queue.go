@@ -9,7 +9,9 @@ type Station struct {
 	eng *Engine
 
 	// free recycles submit requests (and the two closures each one owns),
-	// so a steady-state submit-serve-complete cycle does not allocate.
+	// so a steady-state submit-serve-complete cycle does not allocate. It
+	// is bounded at maxFreeReqs: a burst that briefly had thousands of
+	// requests in flight must not pin them all for the station's lifetime.
 	free []*submitReq
 
 	// obs, when set, receives submit/completion telemetry. The disabled
@@ -36,6 +38,11 @@ type StationObserver interface {
 // SetObserver installs an observer (nil removes it). In-flight requests
 // report completions to the observer installed at completion time.
 func (s *Station) SetObserver(o StationObserver) { s.obs = o }
+
+// maxFreeReqs bounds the Station free list. A station's steady-state
+// working set is servers + a modest queue; 256 recycled requests cover that
+// with a wide margin while letting burst overshoot be reclaimed.
+const maxFreeReqs = 256
 
 // submitReq is one in-flight request. acquire and finish are built once per
 // request object and bound to it, so recycling the request recycles the
@@ -86,9 +93,13 @@ func (s *Station) newReq() *submitReq {
 			st.obs.StationDone(st.eng.Now(), r.service, sojourn)
 		}
 		// Recycle before invoking done: the callback may Submit again and
-		// reuse this very request.
+		// reuse this very request. Beyond the free-list bound the request
+		// is dropped for the GC instead — steady-state cycles stay well
+		// under the bound, so the zero-alloc path is unaffected.
 		r.done = nil
-		st.free = append(st.free, r)
+		if len(st.free) < maxFreeReqs {
+			st.free = append(st.free, r)
+		}
 		if done != nil {
 			done(sojourn)
 		}
