@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/invariant"
 	"repro/internal/obs"
+	"repro/internal/place"
 	"repro/internal/serve"
 	"repro/internal/sim"
 )
@@ -64,6 +65,8 @@ func main() {
 			"worker goroutines per experiment grid (output is identical for any count)")
 		shards = flag.Int("shards", 1,
 			"shard workers inside each datacenter-arena simulation (output is identical for any count)")
+		policy = flag.String("policy", "",
+			"placement policy spec (alg1 | best-fit | worst-fit | one-shot | oversub[:F] | mix:name=w,... with +one-shot/+warm-pool extenders; empty keeps each experiment's default)")
 		invariants = flag.Bool("invariants", false,
 			"enable runtime invariant checks; per-check counts are reported on stderr")
 		traceOut = flag.String("trace", "",
@@ -107,6 +110,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xdmbench: -seed must be non-negative (got %d)\n", *seed)
 		os.Exit(2)
 	}
+	if *policy != "" {
+		if _, err := place.ParsePolicy(*policy); err != nil {
+			fmt.Fprintln(os.Stderr, "xdmbench:", err)
+			fmt.Fprintln(os.Stderr, "usage: xdmbench -policy <spec> with spec = alg1|best-fit|worst-fit|one-shot|oversub[:F]|mix:name=w,... (+one-shot/+warm-pool)")
+			os.Exit(2)
+		}
+	}
 	if *capacity && (*only != "" || *traceOut != "" || *metricsOut != "" || *latencyOut != "") {
 		fmt.Fprintln(os.Stderr, "xdmbench: -capacity cannot be combined with -only/-trace/-metrics/-latency")
 		fmt.Fprintln(os.Stderr, "usage: xdmbench -capacity [-o file] [-scale N] [-seed N] [-workers N]")
@@ -127,10 +137,11 @@ func main() {
 	}
 
 	if *capacity {
-		opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards}
+		opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards, Policy: *policy}
 		start := time.Now()
 		fmt.Fprintf(w, "xDM open-loop capacity sweep (scale=%d seed=%d)\n\n", *scale, *seed)
 		sweeps := append(experiments.ServingSweeps(opts), experiments.ArenaSweeps(opts)...)
+		sweeps = append(sweeps, experiments.PolicyArenaSweeps(opts)...)
 		sim.ResetShardRunTotals()
 		fmt.Fprint(w, serve.RenderCapacity(serve.SweepGrid(sweeps, *workers)))
 		fmt.Fprintf(os.Stderr, "[capacity sweep done in %v with %d workers]\n",
@@ -171,7 +182,7 @@ func main() {
 		obs.Capture()
 	}
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards, Policy: *policy}
 	fmt.Fprintf(w, "xDM reproduction — full evaluation (scale=%d seed=%d)\n\n", *scale, *seed)
 	experiments.ResetGridCellTime()
 	sim.ResetShardRunTotals()

@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/invariant"
 	"repro/internal/obs"
+	"repro/internal/place"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -52,6 +53,8 @@ func main() {
 			"worker goroutines per experiment grid (output is identical for any count)")
 		shards = flag.Int("shards", 1,
 			"shard workers inside each datacenter-arena simulation (output is identical for any count)")
+		policy = flag.String("policy", "",
+			"placement policy spec (alg1 | best-fit | worst-fit | one-shot | oversub[:F] | mix:name=w,... with +one-shot/+warm-pool extenders; empty keeps each experiment's default)")
 		invariants = flag.Bool("invariants", false,
 			"enable runtime invariant checks; per-check counts are reported on stderr")
 		traceOut = flag.String("trace", "",
@@ -86,6 +89,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xdmsim: -shards must be a positive integer (got %d)\n", *shards)
 		fmt.Fprintln(os.Stderr, "usage: xdmsim -exp <id>|all | -custom specs.json [-scale N] [-seed N] [-shards N]; -list shows ids")
 		os.Exit(2)
+	}
+	if *policy != "" {
+		if _, err := place.ParsePolicy(*policy); err != nil {
+			fmt.Fprintln(os.Stderr, "xdmsim:", err)
+			fmt.Fprintln(os.Stderr, "usage: xdmsim -policy <spec> with spec = alg1|best-fit|worst-fit|one-shot|oversub[:F]|mix:name=w,... (+one-shot/+warm-pool)")
+			os.Exit(2)
+		}
 	}
 
 	const serveUsage = "usage: xdmsim -serve <arrival-spec> [-slo 100ms] [-duration 5s] [-scale N] [-seed N]"
@@ -162,7 +172,7 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards, Policy: *policy}
 	if serveArr != nil {
 		for _, tb := range experiments.ServingOnce(opts, serveArr, sim.Duration(*serveSLO), sim.Duration(*serveFor)) {
 			tb.Render(os.Stdout)

@@ -223,6 +223,63 @@ func TestXdmsimFlagValidation(t *testing.T) {
 	}
 }
 
+// TestPolicyFlagCLI pins the -policy surface on both CLIs: a valid spec
+// runs and changes placement-sensitive output, and every malformed spec the
+// grammar rejects is a usage failure (exit 2) naming the offense — never a
+// crash deep inside a simulation.
+func TestPolicyFlagCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	sim := buildCmd(t, dir, "xdmsim")
+	bench := buildCmd(t, dir, "xdmbench")
+
+	out, err := exec.Command(sim, "-exp", "alg1", "-scale", "16", "-policy", "best-fit").Output()
+	if err != nil {
+		t.Fatalf("-policy best-fit: %v", err)
+	}
+	if !strings.Contains(string(out), "Algorithm 1") {
+		t.Errorf("alg1 output incomplete under -policy:\n%s", out)
+	}
+
+	bad := []struct {
+		name string
+		spec string
+	}{
+		{"unknown base", "first-fit"},
+		{"oversub below range", "oversub:0.5"},
+		{"oversub not a number", "oversub:lots"},
+		{"empty mix", "mix:"},
+		{"mix unknown prioritizer", "mix:bogus=1"},
+		{"mix duplicate", "mix:load=1,load=2"},
+		{"unknown extender", "best-fit+sometimes"},
+		{"duplicate extender", "one-shot+one-shot"},
+	}
+	for _, c := range bad {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, bin := range []string{sim, bench} {
+				args := []string{"-exp", "alg1", "-scale", "16", "-policy", c.spec}
+				if bin == bench {
+					args = []string{"-o", "-", "-only", "alg1", "-scale", "16", "-policy", c.spec}
+				}
+				cmd := exec.Command(bin, args...)
+				var stderr strings.Builder
+				cmd.Stderr = &stderr
+				err := cmd.Run()
+				ee, ok := err.(*exec.ExitError)
+				if !ok || ee.ExitCode() != 2 {
+					t.Fatalf("%s -policy %q exited %v, want exit code 2", filepath.Base(bin), c.spec, err)
+				}
+				if !strings.Contains(stderr.String(), "usage:") {
+					t.Errorf("%s stderr missing usage line:\n%s", filepath.Base(bin), stderr.String())
+				}
+			}
+		})
+	}
+}
+
 func TestXdmsimFaultsExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries and runs the fault scenarios")

@@ -1,6 +1,10 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/place"
+)
 
 // ArenaView is the dispatcher's cached picture of every node's free
 // resources in a sharded datacenter arena (see internal/datacenter's Arena).
@@ -20,6 +24,15 @@ type ArenaView struct {
 	// peakPages tracks each node's maximum page commitment, for computing
 	// memory-balance effectiveness over the run's high-water marks.
 	peakPages []int
+
+	// running counts tasks reserved-but-not-released per node, the warmth
+	// and load-pressure inputs placement policies read.
+	running []int
+
+	// overcommitSlack is the extra pages per node an oversubscribing
+	// placement policy may commit beyond physical capacity (0 = none).
+	// Free pages may then go negative down to -overcommitSlack.
+	overcommitSlack int
 }
 
 // NewArenaView builds a view of n identical nodes.
@@ -33,6 +46,7 @@ func NewArenaView(n, coresPerNode, pagesPerNode int) *ArenaView {
 		coresPerNode: coresPerNode,
 		pagesPerNode: pagesPerNode,
 		peakPages:    make([]int, n),
+		running:      make([]int, n),
 	}
 	for i := range v.cores {
 		v.cores[i] = coresPerNode
@@ -43,6 +57,40 @@ func NewArenaView(n, coresPerNode, pagesPerNode int) *ArenaView {
 
 // Nodes reports the number of nodes in the view.
 func (v *ArenaView) Nodes() int { return len(v.cores) }
+
+// FreeCores reports node i's free cores.
+func (v *ArenaView) FreeCores(i int) int { return v.cores[i] }
+
+// FreePages reports node i's free pages (negative under oversubscription).
+func (v *ArenaView) FreePages(i int) int { return v.pages[i] }
+
+// Running reports how many tasks are reserved-but-not-released on node i.
+func (v *ArenaView) Running(i int) int { return v.running[i] }
+
+// SetOvercommit grants every node the page slack an oversubscribing policy
+// of the given factor may commit beyond capacity. The slack follows the same
+// rounding as the policy's memory predicate (place.OvercommitSlack), so
+// Reserve accepts exactly the placements the policy approves.
+func (v *ArenaView) SetOvercommit(factor float64) {
+	v.overcommitSlack = place.OvercommitSlack(factor, v.pagesPerNode)
+}
+
+// StrandedPages reports the memory currently stranded for a task needing
+// minCores: free pages sitting on nodes whose cores are too depleted to
+// host it. Core-exhausted memory is the balance failure placement policies
+// compete on — it is provisioned, unused, and unreachable.
+func (v *ArenaView) StrandedPages(minCores int) int {
+	stranded := 0
+	for i := range v.cores {
+		if v.cores[i] < minCores && v.pages[i] > 0 {
+			stranded += v.pages[i]
+		}
+	}
+	return stranded
+}
+
+// TotalPages reports the fleet's aggregate page capacity.
+func (v *ArenaView) TotalPages() int { return v.pagesPerNode * len(v.pages) }
 
 // Place picks a node for a task needing the given resources, or -1 when no
 // node fits. The policy is worst-fit spreading on cores (the node with the
@@ -65,14 +113,16 @@ func (v *ArenaView) Place(cores, pages int) int {
 }
 
 // Reserve debits node i for a dispatched task. Overdrawing panics: the
-// dispatcher must only reserve what Place said fits.
+// dispatcher must only reserve what the placement policy said fits (free
+// pages may go negative only down to the configured overcommit slack).
 func (v *ArenaView) Reserve(i, cores, pages int) {
 	v.cores[i] -= cores
 	v.pages[i] -= pages
-	if v.cores[i] < 0 || v.pages[i] < 0 {
+	if v.cores[i] < 0 || v.pages[i] < -v.overcommitSlack {
 		panic(fmt.Sprintf("cluster: arena view node %d overdrawn (%d cores, %d pages free)",
 			i, v.cores[i], v.pages[i]))
 	}
+	v.running[i]++
 	if used := v.pagesPerNode - v.pages[i]; used > v.peakPages[i] {
 		v.peakPages[i] = used
 	}
@@ -87,6 +137,10 @@ func (v *ArenaView) Release(i, cores, pages int) {
 		panic(fmt.Sprintf("cluster: arena view node %d released above capacity (%d cores, %d pages free)",
 			i, v.cores[i], v.pages[i]))
 	}
+	if v.running[i] == 0 {
+		panic(fmt.Sprintf("cluster: arena view node %d released with no running tasks", i))
+	}
+	v.running[i]--
 }
 
 // Utilizations snapshots the current memory utilization per node.

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/baseline"
+	"repro/internal/place"
 	"repro/internal/sim"
 	"repro/internal/task"
 )
@@ -22,6 +23,8 @@ type ArrivalSimConfig struct {
 	// MeanInterarrival is the exponential arrival spacing.
 	MeanInterarrival sim.Duration
 	Seed             int64
+	// Policy overrides the dispatcher's placement policy (nil = alg1).
+	Policy *place.Policy
 }
 
 // ArrivalSimResult summarizes the run.
@@ -72,6 +75,7 @@ func RunArrivalSim(env baseline.Env, cfg ArrivalSimConfig) ArrivalSimResult {
 	eng := env.Machine.Eng
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	d := NewDispatcher(env)
+	d.Policy = cfg.Policy
 
 	res := ArrivalSimResult{}
 	var delaySum sim.Duration

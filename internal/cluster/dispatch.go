@@ -3,6 +3,7 @@ package cluster
 import (
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/place"
 	"repro/internal/sim"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -52,11 +53,18 @@ func (k PlacementKind) String() string {
 }
 
 // Dispatcher implements Algorithm 1: page feature extraction, backend
-// selection, parameter optimization, then VM placement with warm-start
-// preference.
+// selection, parameter optimization, then VM placement through a pluggable
+// placement policy (internal/place). The default policy, alg1, reconstructs
+// Algorithm 1's original placement loops exactly: online VM on the chosen
+// backend, then a free VM on it, then a switchable free VM — first match in
+// VM order within each preference tier.
 type Dispatcher struct {
 	Env  baseline.Env
 	opts []core.BackendOption
+
+	// Policy selects the placement policy; nil means the built-in alg1
+	// policy (the paper's Algorithm 1).
+	Policy *place.Policy
 
 	// Gate, when set, is consulted per backend during selection; a false
 	// return removes the backend from the candidate set exactly like
@@ -77,6 +85,11 @@ type Dispatcher struct {
 	Rejected     int
 	Redispatched int
 }
+
+// defaultPolicy is Algorithm 1's placement, shared by every dispatcher that
+// does not override Policy. Policies are immutable after construction, so
+// sharing one instance across concurrent grid cells is safe.
+var defaultPolicy = place.Builtin("alg1")
 
 // NewDispatcher builds a dispatcher over the machine's registered backends.
 func NewDispatcher(env baseline.Env) *Dispatcher {
@@ -162,41 +175,77 @@ func (d *Dispatcher) Dispatch(app App, ready func(Placement)) Placement {
 		return Placement{VM: v, Decision: decision, Via: via}
 	}
 
-	// Lines 5-9: prefer an online VM already on the chosen backend.
-	for _, v := range d.Env.Machine.VMs() {
-		if v.State() == vm.Online && v.ActiveBackend() == backend && d.accepts(v, app) {
-			p := finish(v, ViaOnlineVM)
+	// Lines 5-20: VM placement, run through the placement policy. The
+	// dispatcher projects every VM into a policy candidate; Tier encodes
+	// Algorithm 1's preference classes (3 = online on the chosen backend,
+	// 2 = free on it, 1 = free and switchable, 0 = incompatible — online on
+	// another backend, or booting), so the default alg1 policy (score =
+	// tier, ties to the lowest VM index) reproduces the original
+	// first-match loops exactly. Other policies reorder preference but
+	// never widen feasibility: the predicate chain keeps every candidate
+	// inside the same accepts/compatibility envelope the loops enforced.
+	vms := d.Env.Machine.VMs()
+	cands := make([]place.Candidate, len(vms))
+	for i, v := range vms {
+		tier := 0
+		switch {
+		case v.State() == vm.Online && v.ActiveBackend() == backend:
+			tier = 3
+		case v.State() == vm.Free && v.ActiveBackend() == backend:
+			tier = 2
+		case v.State() == vm.Free:
+			tier = 1
+		}
+		cands[i] = place.Candidate{
+			ID:         i,
+			FreeCores:  v.Cores,
+			FreePages:  v.Pages,
+			TotalCores: v.Cores,
+			TotalPages: v.Pages,
+			Load:       v.ActiveTasks,
+			Tier:       tier,
+			Healthy:    true,
+			Accepts:    d.accepts(v, app),
+		}
+	}
+	pol := d.Policy
+	if pol == nil {
+		pol = defaultPolicy
+	}
+	req := place.Request{Cores: app.Cores, Pages: app.Spec.FootprintPages}
+	for {
+		i := pol.Place(req, cands)
+		if i < 0 {
+			break
+		}
+		v := vms[i]
+		if v.ActiveBackend() == backend {
+			via := ViaFreeVM
+			if v.State() == vm.Online {
+				via = ViaOnlineVM
+			}
+			p := finish(v, via)
 			if ready != nil {
 				d.Env.Machine.Eng.Immediately(func() { ready(p) })
 			}
 			return p
 		}
-	}
-	// Lines 11-15: a free VM already on the backend (warm start).
-	for _, v := range d.Env.Machine.VMs() {
-		if v.State() == vm.Free && v.ActiveBackend() == backend && d.accepts(v, app) {
-			p := finish(v, ViaFreeVM)
+		var p Placement
+		err := v.SwitchBackend(backend, func() {
 			if ready != nil {
-				d.Env.Machine.Eng.Immediately(func() { ready(p) })
+				ready(p)
 			}
-			return p
+		})
+		if err != nil {
+			// Backend vanished between selection and switch: drop the VM
+			// from this placement and re-run the policy, which continues
+			// with the next-best candidate — the loop-based dispatcher's
+			// `continue` behavior.
+			cands[i].Accepts = false
+			continue
 		}
-	}
-	// Lines 16-20: switch an idle VM to the preferred backend.
-	for _, v := range d.Env.Machine.VMs() {
-		if v.State() == vm.Free && d.accepts(v, app) {
-			var p Placement
-			err := v.SwitchBackend(backend, func() {
-				if ready != nil {
-					ready(p)
-				}
-			})
-			if err != nil {
-				continue // backend vanished between selection and switch
-			}
-			p = finish(v, ViaSwitch)
-			return p
-		}
+		p = finish(v, ViaSwitch)
+		return p
 	}
 	// Lines 21-25: create a VM if the host has resources.
 	cores, pages := vmCores, vmPages

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/device"
 	"repro/internal/pcie"
+	"repro/internal/place"
 	"repro/internal/sim"
 	"repro/internal/swap"
 	"repro/internal/task"
@@ -44,6 +45,7 @@ type Arena struct {
 	shards *sim.Shards
 	sched  *arenaSched
 	nodes  []*arenaNode
+	pol    *place.Policy
 }
 
 // ArenaRPCLatency is the dispatcher↔node network latency floor (one
@@ -85,6 +87,14 @@ type ArenaConfig struct {
 	MaxQueue int
 	SLO      sim.Duration
 
+	// Policy selects the dispatcher's placement policy (see internal/place);
+	// nil keeps the arena default, worst-fit spreading — byte-for-byte the
+	// pre-policy ArenaView.Place behavior. A one-shot policy refuses tasks
+	// that fail to place instead of queueing them for retry; an
+	// oversubscribing policy extends every node's page ledger by the
+	// policy's overcommit slack.
+	Policy *place.Policy
+
 	Seed int64
 }
 
@@ -111,6 +121,17 @@ type ArenaResult struct {
 	// MBE is memory balance effectiveness over the fleet's peak
 	// utilizations (alpha 0.3, beta 0.7).
 	MBE float64
+
+	// StrandedFrac is the run's peak memory-stranding fraction: free pages
+	// sitting on core-exhausted nodes (provisioned but unreachable for the
+	// task at the queue head), measured at every placement failure, over
+	// the fleet's page capacity.
+	StrandedFrac float64
+
+	// LastDone is the dispatcher-observed completion time of the last task
+	// — equal to Makespan in closed-loop runs, and the true finish line in
+	// open-loop runs (Makespan there is the configured horizon).
+	LastDone sim.Duration
 
 	// Events is the total event count across all sub-engines — a
 	// deterministic proxy for simulation size.
@@ -141,9 +162,15 @@ type arenaSched struct {
 	queue   []arenaTask
 	dispSeq uint64 // dispatch key counter
 
+	// cands mirrors the view as placement-policy candidates, refreshed
+	// per node on reserve/release so a placement scan never rebuilds the
+	// whole fleet snapshot.
+	cands []place.Candidate
+
 	offered, refused, completed, inSLO int
 	maxQueue                           int
 	lastDone                           sim.Time
+	peakStranded                       int
 	delays                             []sim.Duration
 }
 
@@ -173,12 +200,22 @@ func NewArena(cfg ArenaConfig) *Arena {
 	if cfg.LocalRatio <= 0 || cfg.LocalRatio > 1 {
 		cfg.LocalRatio = 0.5
 	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = defaultArenaPolicy
+	}
 	a := &Arena{
 		cfg:    cfg,
 		shards: sim.NewShards(cfg.Shards, ArenaRPCLatency),
+		pol:    pol,
 		sched: &arenaSched{
-			view: cluster.NewArenaView(cfg.Nodes, cfg.CoresPerNode, cfg.PagesPerNode),
+			view:  cluster.NewArenaView(cfg.Nodes, cfg.CoresPerNode, cfg.PagesPerNode),
+			cands: make([]place.Candidate, cfg.Nodes),
 		},
+	}
+	a.sched.view.SetOvercommit(pol.Overcommit)
+	for i := range a.sched.cands {
+		a.syncCandidate(i)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		shard := i % cfg.Shards
@@ -277,20 +314,59 @@ func (a *Arena) makeTask(i int, now sim.Time) arenaTask {
 	return arenaTask{id: i, app: app, pages: app.Spec.FootprintPages, arrived: now}
 }
 
-// fill places queued tasks while the cached view says something fits. FIFO
+// defaultArenaPolicy is worst-fit spreading — byte-for-byte the pre-policy
+// ArenaView.Place behavior (most free cores wins, free pages break ties,
+// then the lowest node index). Immutable, safe to share across arenas.
+var defaultArenaPolicy = place.Builtin("worst-fit")
+
+// syncCandidate refreshes node i's policy candidate from the cached view.
+// Tier 2 marks a warm node (running work), tier 1 a cold one; arena nodes
+// are always healthy and accepting — the arena masks node death at the
+// dispatcher by excluding crashed machines from the view before this layer.
+func (a *Arena) syncCandidate(i int) {
+	s := a.sched
+	tier := 1
+	if s.view.Running(i) > 0 {
+		tier = 2
+	}
+	s.cands[i] = place.Candidate{
+		ID:         i,
+		FreeCores:  s.view.FreeCores(i),
+		FreePages:  s.view.FreePages(i),
+		TotalCores: a.cfg.CoresPerNode,
+		TotalPages: a.cfg.PagesPerNode,
+		Load:       s.view.Running(i),
+		Tier:       tier,
+		Healthy:    true,
+		Accepts:    true,
+	}
+}
+
+// fill places queued tasks while the placement policy finds a target. FIFO
 // head-of-line: the queue does not reorder around a task that cannot place,
 // which keeps placement order — and therefore everything downstream —
-// trivially deterministic.
+// trivially deterministic. A placement failure records the fleet's stranded
+// memory at that instant; under a one-shot policy the task is then refused
+// outright instead of waiting at the head for capacity.
 func (a *Arena) fill() {
 	s := a.sched
 	for len(s.queue) > 0 {
 		t := s.queue[0]
-		node := s.view.Place(t.app.Cores, t.pages)
+		node := a.pol.Place(place.Request{Cores: t.app.Cores, Pages: t.pages}, s.cands)
 		if node < 0 {
-			return
+			if stranded := s.view.StrandedPages(t.app.Cores); stranded > s.peakStranded {
+				s.peakStranded = stranded
+			}
+			if !a.pol.OneShot() {
+				return
+			}
+			s.queue = s.queue[1:]
+			s.refused++
+			continue
 		}
 		s.queue = s.queue[1:]
 		s.view.Reserve(node, t.app.Cores, t.pages)
+		a.syncCandidate(node)
 		a.dispatch(t, node)
 	}
 }
@@ -371,6 +447,7 @@ func (n *arenaNode) pickBackend() string {
 func (a *Arena) finishTask(t arenaTask, node int, delay sim.Duration) {
 	s := a.sched
 	s.view.Release(node, t.app.Cores, t.pages)
+	a.syncCandidate(node)
 	s.completed++
 	if a.cfg.SLO <= 0 || delay <= a.cfg.SLO {
 		s.inSLO++
@@ -394,6 +471,10 @@ func (a *Arena) result() ArenaResult {
 		Events:    a.shards.Stats().Events,
 		Stats:     a.shards.Stats(),
 	}
+	if total := s.view.TotalPages(); total > 0 {
+		res.StrandedFrac = float64(s.peakStranded) / float64(total)
+	}
+	res.LastDone = s.lastDone.Sub(0)
 	if a.cfg.Arrivals != nil {
 		res.Makespan = a.cfg.Duration + a.cfg.Drain
 	} else {

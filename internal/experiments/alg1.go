@@ -39,6 +39,7 @@ func Algorithm1(o Options) []Table {
 			Arrivals:         arrivals,
 			MeanInterarrival: 1 * sim.Millisecond,
 			Seed:             o.Seed,
+			Policy:           o.placementPolicy(),
 		})
 	}
 

@@ -64,6 +64,7 @@ func arenaConfig(o Options, nodes, tasks int, xdm bool) datacenter.ArenaConfig {
 		Tasks:        tasks,
 		SLO:          arenaSLO,
 		Seed:         o.Seed,
+		Policy:       o.placementPolicy(),
 	}
 }
 

@@ -55,18 +55,70 @@ func TestParallelWorkersDeterministic(t *testing.T) {
 	// arrival trains are seeded per-cell and must not share global state.
 	// arena exercises the second parallelism axis too: grid workers outside,
 	// a serial shard group inside each cell.
-	for _, id := range []string{"fig5a", "fig16", "fig17", "ablation", "serving", "arena"} {
+	// policyarena fans five policy cells across the same workers; policy
+	// choice must be a pure function of model identity. It runs a scale
+	// tier up: worker-count invariance is scale-blind, and the five-way
+	// replay is the most expensive cell in the corpus.
+	scaleUp := map[string]int{"policyarena": 16}
+	for _, id := range []string{"fig5a", "fig16", "fig17", "ablation", "serving", "arena", "policyarena"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
 			serial := TestOptions()
 			serial.Workers = 1
+			if s := scaleUp[id]; s != 0 {
+				serial.Scale = s
+			}
 			parallel := serial
 			parallel.Workers = 8
 			a := renderExperiment(t, id, serial)
 			b := renderExperiment(t, id, parallel)
 			if !bytes.Equal(a, b) {
 				t.Fatalf("Workers=1 vs Workers=8 output differs:\n--- serial\n%s\n--- parallel\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestPolicyRefactorEquivalence is the extraction regression gate: the
+// pluggable placement policies that replaced the hand-rolled loops must
+// reproduce them bit for bit. Options.Policy="" leaves every dispatcher on
+// its pre-refactor default path (alg1 on the rack dispatcher, worst-fit on
+// the arena); naming that default explicitly must not move a single byte,
+// serial or parallel. Each case crosses the axes — the default policy
+// rendered serially against the explicit spec rendered with eight workers —
+// so one comparison catches a drift in either the extraction or the worker
+// fan-out (worker invariance alone is separately pinned by
+// TestParallelWorkersDeterministic). Scale 16 keeps the serving sweep
+// affordable; the equivalence must hold at every scale, so any scale proves
+// the extraction.
+func TestPolicyRefactorEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment renders; skipped in -short mode")
+	}
+	cases := []struct {
+		id     string
+		policy string
+	}{
+		{"alg1", "alg1"},       // Algorithm 1's placement loops
+		{"serving", "alg1"},    // the open-loop dispatcher shares them
+		{"arena", "worst-fit"}, // the arena's spreading placement
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.id+"/"+c.policy, func(t *testing.T) {
+			t.Parallel()
+			def := TestOptions()
+			def.Scale = 16
+			def.Workers = 1
+			named := def
+			named.Policy = c.policy
+			named.Workers = 8
+			a := renderExperiment(t, c.id, def)
+			b := renderExperiment(t, c.id, named)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("default policy (Workers=1) vs explicit %q (Workers=8) differs:\n--- default\n%s\n--- explicit\n%s",
+					c.policy, a, b)
 			}
 		})
 	}

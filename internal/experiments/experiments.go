@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/pcie"
+	"repro/internal/place"
 	"repro/internal/sim"
 	"repro/internal/task"
 	"repro/internal/vm"
@@ -107,6 +108,23 @@ type Options struct {
 	// byte-identical for any value: cross-shard events merge at
 	// deterministic lookahead barriers in canonical order.
 	ShardWorkers int
+	// Policy overrides the placement policy by spec (see place.ParsePolicy;
+	// "" keeps each experiment's default: alg1 on the dispatcher, worst-fit
+	// on the arena). CLIs validate the spec before it reaches here;
+	// placementPolicy panics on a malformed spec.
+	Policy string
+}
+
+// placementPolicy parses Options.Policy ("" = nil, keep defaults).
+func (o Options) placementPolicy() *place.Policy {
+	if o.Policy == "" {
+		return nil
+	}
+	p, err := place.ParsePolicy(o.Policy)
+	if err != nil {
+		panic("experiments: invalid placement policy: " + err.Error())
+	}
+	return p
 }
 
 // DefaultOptions is full fidelity, serial.

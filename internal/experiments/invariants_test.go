@@ -27,11 +27,18 @@ func TestAllExperimentsCleanUnderInvariants(t *testing.T) {
 	invariant.Enable()
 	defer invariant.Disable()
 
+	// Fidelity is irrelevant here; invariants must hold at any scale. The
+	// five-way policyarena replay runs a further tier up to keep the
+	// double sweep affordable.
+	scaleFor := map[string]int{"policyarena": 32}
 	for _, workers := range []int{1, 8} {
-		o := TestOptions()
-		o.Scale = 16 // fidelity is irrelevant here; invariants must hold at any scale
-		o.Workers = workers
 		for _, id := range IDs() {
+			o := TestOptions()
+			o.Scale = 16
+			o.Workers = workers
+			if s := scaleFor[id]; s != 0 {
+				o.Scale = s
+			}
 			before := len(violations)
 			renderExperiment(t, id, o)
 			if n := len(violations) - before; n > 0 {

@@ -111,6 +111,7 @@ func ServingSweeps(o Options) []serve.NamedSweep {
 				Shedding:  true,
 				Breakers:  true,
 				Seed:      o.Seed,
+				Policy:    o.placementPolicy(),
 			},
 			Cap: c.ramp,
 		}
@@ -147,6 +148,7 @@ func ServingOnce(o Options, arr workload.ArrivalProcess, slo, duration sim.Durat
 		Breakers:  true,
 		Retier:    true,
 		Seed:      o.Seed,
+		Policy:    o.placementPolicy(),
 	})
 	t := Table{
 		ID:      "serve",
@@ -200,6 +202,7 @@ func ServingFlashData(o Options) []ServingFlashRow {
 			Drain:    sim.Second,
 			SLO:      servingSLO,
 			Seed:     o.Seed,
+			Policy:   o.placementPolicy(),
 		}
 		if systems[i] == "shed" {
 			cfg.Shedding = true

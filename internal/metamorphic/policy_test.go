@@ -1,0 +1,174 @@
+package metamorphic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/place"
+)
+
+// Placement-policy metamorphic laws: relations between runs that must
+// survive any refactor of internal/place. Like the device laws in this
+// package, each is checked over seeded deterministic trials — a failure
+// reproduces exactly.
+
+const (
+	polCores = 4
+	polPages = 256
+)
+
+func polCandidate(id, cores, pages int) place.Candidate {
+	return place.Candidate{
+		ID: id, FreeCores: cores, FreePages: pages,
+		TotalCores: polCores, TotalPages: polPages,
+		Tier: 1, Healthy: true, Accepts: true,
+	}
+}
+
+func randPolCandidates(r *rand.Rand, n int) []place.Candidate {
+	cands := make([]place.Candidate, n)
+	for i := range cands {
+		cands[i] = polCandidate(i, r.Intn(polCores+1), r.Intn(polPages+1))
+	}
+	return cands
+}
+
+// polLease is one running request in the steady-state harness.
+type polLease struct{ node, cores, pages, expire int }
+
+// steadyStranding drives a steady-state place/release loop: one request per
+// step with a fixed lifetime, failed requests dropped (open-loop). It
+// reports the peak stranded-memory *fraction* over the failure instants:
+// free pages on nodes whose cores cannot host the failed request, over the
+// fleet's page capacity. The fraction — not absolute pages — is the
+// fleet-size-comparable quantity (a bigger fleet has more pages to strand).
+func steadyStranding(p *place.Policy, n int, reqs []place.Request, life int) float64 {
+	cands := make([]place.Candidate, n)
+	for i := range cands {
+		cands[i] = polCandidate(i, polCores, polPages)
+	}
+	var held []polLease
+	peak := 0.0
+	for step, r := range reqs {
+		kept := held[:0]
+		for _, l := range held {
+			if l.expire <= step {
+				cands[l.node].FreeCores += l.cores
+				cands[l.node].FreePages += l.pages
+			} else {
+				kept = append(kept, l)
+			}
+		}
+		held = kept
+		got := p.Place(r, cands)
+		if got == -1 {
+			stranded := 0
+			for _, c := range cands {
+				if c.FreeCores < r.Cores && c.FreePages > 0 {
+					stranded += c.FreePages
+				}
+			}
+			if f := float64(stranded) / float64(n*polPages); f > peak {
+				peak = f
+			}
+			continue
+		}
+		cands[got].FreeCores -= r.Cores
+		cands[got].FreePages -= r.Pages
+		held = append(held, polLease{got, r.Cores, r.Pages, step + life})
+	}
+	return peak
+}
+
+// TestAddingMachineNeverIncreasesStrandingBestFit: growing a best-fit fleet
+// by one empty node never increases the peak stranded-memory fraction of the
+// same steady-state request stream. Under a fixed offered load the extra
+// node absorbs contention: failures get rarer and happen with fewer
+// core-exhausted nodes, so stranding can only shrink. (The law needs the
+// steady state — in a pure fill with no releases, extra capacity lets the
+// fleet pack deeper before failing and stranding grows with utilization; the
+// lifetime of 8 steps against 4n+4 cores keeps the load in the regime where
+// monotonicity holds, verified over thousands of seeds.)
+func TestAddingMachineNeverIncreasesStrandingBestFit(t *testing.T) {
+	p := place.Builtin("best-fit")
+	const life = 8
+	for seed := int64(0); seed < 100; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(6)
+		reqs := make([]place.Request, 40*n)
+		for i := range reqs {
+			reqs[i] = place.Request{Cores: 1 + r.Intn(2), Pages: 1 + r.Intn(polPages/2)}
+		}
+		small := steadyStranding(p, n, reqs, life)
+		big := steadyStranding(p, n+1, reqs, life)
+		if big > small+1e-12 {
+			t.Errorf("seed %d: adding a machine increased best-fit stranding: %.4f -> %.4f (n=%d)",
+				seed, small, big, n)
+		}
+	}
+}
+
+// TestRelaxingPredicateNeverShrinksFeasibleSet: a higher oversubscription
+// factor admits a superset of candidates, and flipping a candidate's
+// acceptance bit on never removes others from feasibility — predicates are
+// per-candidate filters with no cross-candidate coupling.
+func TestRelaxingPredicateNeverShrinksFeasibleSet(t *testing.T) {
+	tight := place.Builtin("oversub:1")
+	loose := place.Builtin("oversub:1.5")
+	loosest := place.Builtin("oversub:4")
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		cands := randPolCandidates(r, 1+r.Intn(10))
+		req := place.Request{Cores: 1 + r.Intn(polCores), Pages: 1 + r.Intn(polPages)}
+		for _, c := range cands {
+			a, b, d := tight.Feasible(req, c), loose.Feasible(req, c), loosest.Feasible(req, c)
+			if a && !b {
+				t.Fatalf("trial %d: oversub:1.5 rejects a candidate oversub:1 admits: %+v", trial, c)
+			}
+			if b && !d {
+				t.Fatalf("trial %d: oversub:4 rejects a candidate oversub:1.5 admits: %+v", trial, c)
+			}
+		}
+		// Flipping one candidate's gate on cannot shrink the feasible set.
+		before := 0
+		for _, c := range cands {
+			if tight.Feasible(req, c) {
+				before++
+			}
+		}
+		relaxed := append([]place.Candidate(nil), cands...)
+		relaxed[r.Intn(len(relaxed))].Accepts = true
+		after := 0
+		for _, c := range relaxed {
+			if tight.Feasible(req, c) {
+				after++
+			}
+		}
+		if after < before {
+			t.Fatalf("trial %d: granting acceptance shrank the feasible set: %d -> %d", trial, before, after)
+		}
+	}
+}
+
+// TestOversubOneEquivalentToBestFit: a 1.0 oversubscription factor grants
+// zero slack, so oversub:1 and best-fit must make identical choices on any
+// fleet — the law that pins oversub's prioritizers to best-fit packing.
+func TestOversubOneEquivalentToBestFit(t *testing.T) {
+	oversub := place.Builtin("oversub:1")
+	bestfit := place.Builtin("best-fit")
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		cands := randPolCandidates(r, 1+r.Intn(12))
+		for i := range cands {
+			cands[i].Load = r.Intn(3)
+			cands[i].Tier = r.Intn(4)
+			cands[i].Healthy = r.Intn(8) != 0
+			cands[i].Accepts = r.Intn(8) != 0
+		}
+		req := place.Request{Cores: 1 + r.Intn(polCores), Pages: 1 + r.Intn(polPages)}
+		a, b := oversub.Place(req, cands), bestfit.Place(req, cands)
+		if a != b {
+			t.Fatalf("trial %d: oversub:1 chose %d, best-fit chose %d (req %+v)", trial, a, b, req)
+		}
+	}
+}

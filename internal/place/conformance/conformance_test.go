@@ -1,0 +1,29 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/place"
+)
+
+// TestBuiltinsConform runs the contract harness over every built-in policy
+// plus a composed mix spec with both extenders — the exact set the
+// policyarena experiment races, so a contract break fails here before it
+// corrupts a fleet simulation.
+func TestBuiltinsConform(t *testing.T) {
+	specs := []string{
+		"alg1",
+		"best-fit",
+		"worst-fit",
+		"oversub:1.25",
+		"one-shot",
+		"mix:load=2,warm=1,least-stranding=0.5+one-shot+warm-pool",
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			Run(t, place.Builtin(spec))
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package place
+
+import "testing"
+
+// FuzzPolicySpec throws arbitrary spec strings at the parser. For every spec
+// the parser accepts: the canonical form must re-parse to itself (fixpoint),
+// and the compiled policy must place a fixed candidate set without panicking,
+// returning a feasible candidate or -1. Rejected specs must fail with an
+// error, never a panic.
+func FuzzPolicySpec(f *testing.F) {
+	for _, s := range []string{
+		"alg1", "best-fit", "worst-fit", "one-shot",
+		"oversub", "oversub:1.5", "oversub:4",
+		"best-fit+warm-pool", "worst-fit+one-shot+warm-pool",
+		"mix:worst-fit=1,load=2", "mix:tier=3,warm=0.5+one-shot",
+		"", "nope", "oversub:0.5", "mix:load=1,load=2", "best-fit+nope",
+	} {
+		f.Add(s)
+	}
+	cands := []Candidate{
+		{ID: 0, FreeCores: 4, FreePages: 64, TotalCores: 4, TotalPages: 64, Tier: 1, Healthy: true, Accepts: true},
+		{ID: 1, FreeCores: 1, FreePages: 8, TotalCores: 4, TotalPages: 64, Load: 3, Tier: 2, Healthy: true, Accepts: true},
+		{ID: 2, FreeCores: 0, FreePages: 0, TotalCores: 4, TotalPages: 64, Load: 4, Tier: 3, Healthy: true, Accepts: true},
+		{ID: 3, FreeCores: 4, FreePages: 64, TotalCores: 4, TotalPages: 64, Tier: 0, Healthy: false, Accepts: false},
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePolicy(spec)
+		if err != nil {
+			return
+		}
+		canon := p.String()
+		q, err := ParsePolicy(canon)
+		if err != nil {
+			t.Fatalf("accepted spec %q canonicalizes to %q, which does not re-parse: %v", spec, canon, err)
+		}
+		if q.String() != canon {
+			t.Fatalf("canonical form is not a fixpoint: %q -> %q -> %q", spec, canon, q.String())
+		}
+		for _, r := range []Request{{Cores: 1, Pages: 8}, {Cores: 2, Pages: 80}, {Cores: 0, Pages: 0}} {
+			got := p.Place(r, cands)
+			if got == -1 {
+				continue
+			}
+			placed := false
+			for _, c := range cands {
+				if c.ID == got {
+					placed = true
+					if !p.Feasible(r, c) {
+						t.Fatalf("policy %q placed %+v on infeasible candidate %d", canon, r, got)
+					}
+				}
+			}
+			if !placed {
+				t.Fatalf("policy %q returned unknown candidate %d", canon, got)
+			}
+		}
+	})
+}

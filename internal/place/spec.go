@@ -1,0 +1,160 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The -policy spec grammar. A spec is a base policy plus optional extender
+// suffixes:
+//
+//	POLICY := BASE ( "+" EXT )*
+//	BASE   := "alg1" | "best-fit" | "worst-fit" | "one-shot"
+//	        | "oversub" [ ":" FACTOR ]              factor in [1, 4]
+//	        | "mix:" PRIO "=" W ( "," PRIO "=" W )* weights in (0, 1e6]
+//	EXT    := "one-shot" | "warm-pool"
+//	PRIO   := "best-fit" | "worst-fit" | "tier" | "load"
+//	        | "least-stranding" | "warm"
+//
+// Examples: "alg1", "oversub:1.5", "best-fit+warm-pool",
+// "mix:worst-fit=1,load=2+one-shot".
+//
+// ParsePolicy validates strictly (unknown names, malformed or out-of-range
+// numbers, duplicate prioritizers or extenders are errors) and the CLIs turn
+// any error into a usage failure (exit 2). String renders the canonical
+// form, which re-parses to an identical policy (FuzzPolicySpec locks this).
+
+// mixEntry is one weighted prioritizer of a mix: spec.
+type mixEntry struct {
+	name   string
+	weight float64
+}
+
+// ParsePolicy compiles a policy spec. The returned policy's Name is the
+// canonical spec string.
+func ParsePolicy(spec string) (*Policy, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("placement policy spec is empty")
+	}
+	parts := strings.Split(spec, "+")
+	base := parts[0]
+	exts := parts[1:]
+
+	p := &Policy{Overcommit: 1}
+	var canonBase string
+	switch {
+	case base == "alg1":
+		p.Prioritizers = []Prioritizer{prioritizer("tier", 1)}
+		canonBase = "alg1"
+	case base == "best-fit":
+		p.Prioritizers = []Prioritizer{prioritizer("best-fit", 1)}
+		canonBase = "best-fit"
+	case base == "worst-fit":
+		p.Prioritizers = []Prioritizer{prioritizer("worst-fit", 1)}
+		canonBase = "worst-fit"
+	case base == "one-shot":
+		// Alias: worst-fit spreading with the no-retry extender.
+		p.Prioritizers = []Prioritizer{prioritizer("worst-fit", 1)}
+		p.Extenders = append(p.Extenders, extOneShot())
+		canonBase = "one-shot"
+	case base == "oversub" || strings.HasPrefix(base, "oversub:"):
+		factor := DefaultOversubFactor
+		if rest, ok := strings.CutPrefix(base, "oversub:"); ok {
+			f, err := strconv.ParseFloat(rest, 64)
+			if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("policy spec %q: oversub factor %q is not a number", spec, rest)
+			}
+			if f < 1 || f > 4 {
+				return nil, fmt.Errorf("policy spec %q: oversub factor must be in [1, 4] (got %g)", spec, f)
+			}
+			factor = f
+		}
+		p.Overcommit = factor
+		p.Prioritizers = []Prioritizer{prioritizer("best-fit", 1)}
+		canonBase = fmt.Sprintf("oversub:%g", factor)
+	case strings.HasPrefix(base, "mix:"):
+		entries, err := parseMix(spec, strings.TrimPrefix(base, "mix:"))
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			p.Prioritizers = append(p.Prioritizers, prioritizer(e.name, e.weight))
+			names = append(names, fmt.Sprintf("%s=%g", e.name, e.weight))
+		}
+		canonBase = "mix:" + strings.Join(names, ",")
+	default:
+		return nil, fmt.Errorf("policy spec %q: unknown policy %q (want alg1|best-fit|worst-fit|one-shot|oversub[:F]|mix:...)", spec, base)
+	}
+
+	seen := map[string]bool{"one-shot": p.OneShot()}
+	var suffixes []string
+	for _, e := range exts {
+		switch e {
+		case "one-shot":
+			if seen["one-shot"] {
+				return nil, fmt.Errorf("policy spec %q: duplicate extender %q", spec, e)
+			}
+			seen["one-shot"] = true
+			p.Extenders = append(p.Extenders, extOneShot())
+			suffixes = append(suffixes, e)
+		case "warm-pool":
+			if seen["warm-pool"] {
+				return nil, fmt.Errorf("policy spec %q: duplicate extender %q", spec, e)
+			}
+			seen["warm-pool"] = true
+			p.Extenders = append(p.Extenders, extWarmPool(p))
+			suffixes = append(suffixes, e)
+		default:
+			return nil, fmt.Errorf("policy spec %q: unknown extender %q (want one-shot|warm-pool)", spec, e)
+		}
+	}
+
+	p.Predicates = standardPredicates(p.Overcommit)
+	sort.Strings(suffixes)
+	p.Name = canonBase
+	for _, s := range suffixes {
+		p.Name += "+" + s
+	}
+	return p, nil
+}
+
+// parseMix reads the "name=weight,name=weight" body of a mix: spec,
+// preserving declaration order (it is part of the canonical form).
+func parseMix(spec, body string) ([]mixEntry, error) {
+	if body == "" {
+		return nil, fmt.Errorf("policy spec %q: mix needs at least one prioritizer=weight pair", spec)
+	}
+	var out []mixEntry
+	seen := map[string]bool{}
+	for _, pair := range strings.Split(body, ",") {
+		name, w, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("policy spec %q: mix entry %q is not prioritizer=weight", spec, pair)
+		}
+		if _, known := prioritizerFuncs[name]; !known {
+			return nil, fmt.Errorf("policy spec %q: unknown prioritizer %q (want %s)",
+				spec, name, strings.Join(PrioritizerNames(), "|"))
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("policy spec %q: duplicate prioritizer %q", spec, name)
+		}
+		seen[name] = true
+		weight, err := strconv.ParseFloat(w, 64)
+		if err != nil || math.IsNaN(weight) || math.IsInf(weight, 0) {
+			return nil, fmt.Errorf("policy spec %q: weight %q is not a number", spec, w)
+		}
+		if weight <= 0 || weight > 1e6 {
+			return nil, fmt.Errorf("policy spec %q: weight must be in (0, 1e6] (got %g)", spec, weight)
+		}
+		out = append(out, mixEntry{name: name, weight: weight})
+	}
+	return out, nil
+}
+
+// String returns the canonical spec, which ParsePolicy accepts and compiles
+// back to an identical policy.
+func (p *Policy) String() string { return p.Name }

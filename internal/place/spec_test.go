@@ -1,0 +1,118 @@
+package place
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePolicyCanonicalNames(t *testing.T) {
+	cases := []struct {
+		spec, canon string
+	}{
+		{"alg1", "alg1"},
+		{"best-fit", "best-fit"},
+		{"worst-fit", "worst-fit"},
+		{"one-shot", "one-shot"},
+		{"oversub", "oversub:1.25"},
+		{"oversub:1.5", "oversub:1.5"},
+		{"oversub:1", "oversub:1"},
+		{"best-fit+warm-pool", "best-fit+warm-pool"},
+		{"best-fit+warm-pool+one-shot", "best-fit+one-shot+warm-pool"}, // suffixes sort
+		{"mix:worst-fit=1,load=2", "mix:worst-fit=1,load=2"},           // entry order preserved
+		{"mix:load=0.5,tier=3+one-shot", "mix:load=0.5,tier=3+one-shot"},
+	}
+	for _, c := range cases {
+		p, err := ParsePolicy(c.spec)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", c.spec, err)
+			continue
+		}
+		if p.String() != c.canon {
+			t.Errorf("ParsePolicy(%q).String() = %q, want %q", c.spec, p.String(), c.canon)
+		}
+		// The canonical form must be a fixpoint.
+		q, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Errorf("canonical %q does not re-parse: %v", p.String(), err)
+			continue
+		}
+		if q.String() != p.String() {
+			t.Errorf("canonical form is not a fixpoint: %q -> %q", p.String(), q.String())
+		}
+	}
+}
+
+func TestParsePolicyRejectsMalformed(t *testing.T) {
+	specs := []string{
+		"",
+		"nope",
+		"first-fit",
+		"oversub:0.5", // below 1
+		"oversub:5",   // above 4
+		"oversub:NaN",
+		"oversub:",
+		"mix:",
+		"mix:load",          // no weight
+		"mix:load=0",        // zero weight
+		"mix:load=-1",       // negative weight
+		"mix:load=1e7",      // above cap
+		"mix:load=x",        // not a number
+		"mix:nope=1",        // unknown prioritizer
+		"mix:load=1,load=2", // duplicate prioritizer
+		"best-fit+nope",
+		"best-fit+one-shot+one-shot", // duplicate extender
+		"one-shot+one-shot",          // alias already carries it
+		"best-fit+",
+		"+one-shot",
+	}
+	for _, s := range specs {
+		if p, err := ParsePolicy(s); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted a malformed spec as %q", s, p.String())
+		}
+	}
+}
+
+func TestParsePolicyErrorsNameTheSpec(t *testing.T) {
+	_, err := ParsePolicy("mix:bogus=1")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error does not name the offending prioritizer: %v", err)
+	}
+	if !strings.Contains(err.Error(), strings.Join(PrioritizerNames(), "|")) {
+		t.Errorf("error does not list the valid prioritizers: %v", err)
+	}
+}
+
+func TestParsedPoliciesCarryStandardPredicates(t *testing.T) {
+	for _, spec := range []string{"alg1", "best-fit", "oversub:2", "mix:warm=1"} {
+		p, err := ParsePolicy(spec)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", spec, err)
+		}
+		if len(p.Predicates) != 5 {
+			t.Errorf("%s: %d predicates, want the standard 5", spec, len(p.Predicates))
+		}
+		if len(p.Prioritizers) == 0 {
+			t.Errorf("%s: no prioritizers", spec)
+		}
+	}
+}
+
+func TestOversubFactorReachesOvercommit(t *testing.T) {
+	p, err := ParsePolicy("oversub:1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Overcommit != 1.5 {
+		t.Fatalf("Overcommit = %g, want 1.5", p.Overcommit)
+	}
+	q, err := ParsePolicy("best-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Overcommit != 1 {
+		t.Fatalf("best-fit Overcommit = %g, want 1", q.Overcommit)
+	}
+}

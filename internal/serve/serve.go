@@ -32,6 +32,7 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/place"
 	"repro/internal/sim"
 	"repro/internal/swap"
 	"repro/internal/task"
@@ -83,6 +84,9 @@ type Config struct {
 	// Tick is the control-loop cadence (default 50ms): shedder adaptation,
 	// queue-deadline scanning, pressure detection, conservation checks.
 	Tick sim.Duration
+	// Policy overrides the dispatcher's placement policy (nil = alg1);
+	// see internal/place.
+	Policy *place.Policy
 	// Seed feeds every stochastic component (arrival draws, template
 	// choice, breaker jitter).
 	Seed int64
@@ -242,6 +246,7 @@ func Run(env baseline.Env, cfg Config) Result {
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
 	s.d.MaxTasksPerVM = cfg.MaxTasksPerVM
+	s.d.Policy = cfg.Policy
 	s.backendOrder = env.Machine.BackendNames()
 
 	if cfg.Breakers {
