@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/analyze"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/place"
@@ -67,6 +68,8 @@ func main() {
 			"shard workers inside each datacenter-arena simulation (output is identical for any count)")
 		policy = flag.String("policy", "",
 			"placement policy spec (alg1 | best-fit | worst-fit | one-shot | oversub[:F] | mix:name=w,... with +one-shot/+warm-pool extenders; empty keeps each experiment's default)")
+		fabricFlag = flag.String("fabric", "",
+			"CXL fabric topology spec ("+fabric.Usage()+"; empty keeps the fabric experiments' default)")
 		invariants = flag.Bool("invariants", false,
 			"enable runtime invariant checks; per-check counts are reported on stderr")
 		traceOut = flag.String("trace", "",
@@ -117,6 +120,13 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *fabricFlag != "" {
+		if _, err := fabric.ParseSpec(*fabricFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "xdmbench:", err)
+			fmt.Fprintln(os.Stderr, "usage: xdmbench -fabric <spec> with spec = "+fabric.Usage())
+			os.Exit(2)
+		}
+	}
 	if *capacity && (*only != "" || *traceOut != "" || *metricsOut != "" || *latencyOut != "") {
 		fmt.Fprintln(os.Stderr, "xdmbench: -capacity cannot be combined with -only/-trace/-metrics/-latency")
 		fmt.Fprintln(os.Stderr, "usage: xdmbench -capacity [-o file] [-scale N] [-seed N] [-workers N]")
@@ -137,7 +147,7 @@ func main() {
 	}
 
 	if *capacity {
-		opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards, Policy: *policy}
+		opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards, Policy: *policy, Fabric: *fabricFlag}
 		start := time.Now()
 		fmt.Fprintf(w, "xDM open-loop capacity sweep (scale=%d seed=%d)\n\n", *scale, *seed)
 		sweeps := append(experiments.ServingSweeps(opts), experiments.ArenaSweeps(opts)...)
@@ -182,7 +192,7 @@ func main() {
 		obs.Capture()
 	}
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards, Policy: *policy}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards, Policy: *policy, Fabric: *fabricFlag}
 	fmt.Fprintf(w, "xDM reproduction — full evaluation (scale=%d seed=%d)\n\n", *scale, *seed)
 	experiments.ResetGridCellTime()
 	sim.ResetShardRunTotals()

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/place"
@@ -55,6 +56,8 @@ func main() {
 			"shard workers inside each datacenter-arena simulation (output is identical for any count)")
 		policy = flag.String("policy", "",
 			"placement policy spec (alg1 | best-fit | worst-fit | one-shot | oversub[:F] | mix:name=w,... with +one-shot/+warm-pool extenders; empty keeps each experiment's default)")
+		fabricFlag = flag.String("fabric", "",
+			"CXL fabric topology spec ("+fabric.Usage()+"; empty keeps the fabric experiments' default)")
 		invariants = flag.Bool("invariants", false,
 			"enable runtime invariant checks; per-check counts are reported on stderr")
 		traceOut = flag.String("trace", "",
@@ -94,6 +97,13 @@ func main() {
 		if _, err := place.ParsePolicy(*policy); err != nil {
 			fmt.Fprintln(os.Stderr, "xdmsim:", err)
 			fmt.Fprintln(os.Stderr, "usage: xdmsim -policy <spec> with spec = alg1|best-fit|worst-fit|one-shot|oversub[:F]|mix:name=w,... (+one-shot/+warm-pool)")
+			os.Exit(2)
+		}
+	}
+	if *fabricFlag != "" {
+		if _, err := fabric.ParseSpec(*fabricFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "xdmsim:", err)
+			fmt.Fprintln(os.Stderr, "usage: xdmsim -fabric <spec> with spec = "+fabric.Usage())
 			os.Exit(2)
 		}
 	}
@@ -172,7 +182,7 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards, Policy: *policy}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers, ShardWorkers: *shards, Policy: *policy, Fabric: *fabricFlag}
 	if serveArr != nil {
 		for _, tb := range experiments.ServingOnce(opts, serveArr, sim.Duration(*serveSLO), sim.Duration(*serveFor)) {
 			tb.Render(os.Stdout)

@@ -280,6 +280,64 @@ func TestPolicyFlagCLI(t *testing.T) {
 	}
 }
 
+// TestFabricFlagCLI pins the -fabric surface on both CLIs: a valid topology
+// spec runs the pooled-memory experiment and changes its header, and every
+// malformed spec the grammar rejects is a usage failure (exit 2) carrying
+// the hosts=N[,...] grammar — never a panic inside a cell.
+func TestFabricFlagCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	sim := buildCmd(t, dir, "xdmsim")
+	bench := buildCmd(t, dir, "xdmbench")
+
+	out, err := exec.Command(sim, "-exp", "cxlpool", "-scale", "16", "-fabric", "hosts=2,pool=1,hops=2").Output()
+	if err != nil {
+		t.Fatalf("-fabric hosts=2,pool=1,hops=2: %v", err)
+	}
+	if !strings.Contains(string(out), "2 hosts") || !strings.Contains(string(out), "2 switch hops") {
+		t.Errorf("cxlpool header does not reflect -fabric topology:\n%s", out)
+	}
+
+	bad := []struct {
+		name string
+		spec string
+	}{
+		{"missing hosts", "pool=1"},
+		{"not key=value", "hosts"},
+		{"hosts out of range", "hosts=0"},
+		{"duplicate field", "hosts=4,hosts=8"},
+		{"negative pool", "hosts=4,pool=-1"},
+		{"slab out of range", "hosts=4,slab=8"},
+		{"hops out of range", "hosts=4,hops=9"},
+		{"unknown placer", "hosts=4,placer=switch"},
+		{"unknown field", "hosts=4,rack=2"},
+	}
+	for _, c := range bad {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, bin := range []string{sim, bench} {
+				args := []string{"-exp", "cxlpool", "-scale", "16", "-fabric", c.spec}
+				if bin == bench {
+					args = []string{"-o", "-", "-only", "cxlpool", "-scale", "16", "-fabric", c.spec}
+				}
+				cmd := exec.Command(bin, args...)
+				var stderr strings.Builder
+				cmd.Stderr = &stderr
+				err := cmd.Run()
+				ee, ok := err.(*exec.ExitError)
+				if !ok || ee.ExitCode() != 2 {
+					t.Fatalf("%s -fabric %q exited %v, want exit code 2", filepath.Base(bin), c.spec, err)
+				}
+				if !strings.Contains(stderr.String(), "usage:") || !strings.Contains(stderr.String(), "hosts=N") {
+					t.Errorf("%s stderr missing usage grammar:\n%s", filepath.Base(bin), stderr.String())
+				}
+			}
+		})
+	}
+}
+
 func TestXdmsimFaultsExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries and runs the fault scenarios")

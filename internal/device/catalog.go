@@ -144,6 +144,33 @@ func SpecCXL(name string) Spec {
 	}
 }
 
+// SwitchHopLatency is the one-way store-and-forward latency a CXL switch
+// hop adds to a pooled-memory access (CXL-DMSim measures ~80–100 ns per
+// switch traversal on Gen5 ports).
+const SwitchHopLatency = 90 * sim.Nanosecond
+
+// SpecPooledCXL models one host's port onto switch-attached pooled CXL
+// memory: the same 46 GB/s media class as SpecCXL, with per-op latency
+// growing by SwitchHopLatency per switch hop and the port narrowed to ×8 —
+// pooled DCD capacity trades a little path width for a much larger, shared
+// capacity at lower cost per GB. With hops = 0 the latency envelope
+// degenerates to the direct-attached SpecCXL expander.
+func SpecPooledCXL(name string, hops int) Spec {
+	lat := 500*sim.Nanosecond + sim.Duration(hops)*SwitchHopLatency
+	return Spec{
+		Name: name, Kind: PooledCXL,
+		Bandwidth:        units.GBps(46),
+		ReadLatency:      lat,
+		WriteLatency:     lat,
+		RandomPenalty:    0,
+		Channels:         8,
+		ChannelBandwidth: units.GBps(8),
+		Capacity:         2 * units.TiB,
+		CostPerGB:        1.6,
+		SlotGen:          pcie.Gen5, SlotLanes: 8,
+	}
+}
+
 // SpecRemoteDRAM models host-donated DRAM reached over the memory bus /
 // hypervisor shared-memory path (Fastswap's and XMemPod's "DRAM backend").
 func SpecRemoteDRAM(name string) Spec {

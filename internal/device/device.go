@@ -53,6 +53,10 @@ const (
 	DPU
 	CXL
 	RemoteDRAM
+	// PooledCXL is a switch-attached CXL 2.0/3.0 pooled-memory port: same
+	// load/store medium as CXL, reached through switch hops and shared with
+	// other hosts (see internal/fabric).
+	PooledCXL
 )
 
 func (k Kind) String() string {
@@ -69,6 +73,8 @@ func (k Kind) String() string {
 		return "cxl"
 	case RemoteDRAM:
 		return "dram"
+	case PooledCXL:
+		return "pooled-cxl"
 	default:
 		return "unknown"
 	}

@@ -59,8 +59,11 @@ func TestParallelWorkersDeterministic(t *testing.T) {
 	// choice must be a pure function of model identity. It runs a scale
 	// tier up: worker-count invariance is scale-blind, and the five-way
 	// replay is the most expensive cell in the corpus.
+	// cxlpool fans the ratio × mode grid over the fabric cells; the pool
+	// ledger and in-fabric extender must be pure functions of the cell
+	// configuration.
 	scaleUp := map[string]int{"policyarena": 16}
-	for _, id := range []string{"fig5a", "fig16", "fig17", "ablation", "serving", "arena", "policyarena"} {
+	for _, id := range []string{"fig5a", "fig16", "fig17", "ablation", "serving", "arena", "policyarena", "cxlpool"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

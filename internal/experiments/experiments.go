@@ -18,6 +18,7 @@ import (
 	"unicode/utf8"
 
 	"repro/internal/device"
+	"repro/internal/fabric"
 	"repro/internal/pcie"
 	"repro/internal/place"
 	"repro/internal/sim"
@@ -113,6 +114,22 @@ type Options struct {
 	// on the arena). CLIs validate the spec before it reaches here;
 	// placementPolicy panics on a malformed spec.
 	Policy string
+	// Fabric overrides the CXL switch topology for the fabric experiments
+	// (see fabric.ParseSpec; "" keeps fabric.DefaultSpec). CLIs validate the
+	// spec before it reaches here; fabricSpec panics on a malformed spec.
+	Fabric string
+}
+
+// fabricSpec parses Options.Fabric ("" = fabric.DefaultSpec).
+func (o Options) fabricSpec() fabric.Spec {
+	if o.Fabric == "" {
+		return fabric.DefaultSpec()
+	}
+	s, err := fabric.ParseSpec(o.Fabric)
+	if err != nil {
+		panic("experiments: invalid fabric spec: " + err.Error())
+	}
+	return s
 }
 
 // placementPolicy parses Options.Policy ("" = nil, keep defaults).

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestFabricWorkersShardsDeterministic is the fabric acceptance gate: the
+// cxlpool grid rendered at every {Workers 1, 8} × {ShardWorkers 1, 4}
+// combination must be byte-identical. Fabric cells run on one engine each,
+// so neither parallelism axis can reach them — grid workers fan out across
+// cells, and the shard axis has no sharded kernel to attach to. Crossing
+// the axes (rather than varying one at a time) catches an interaction leak
+// a single-axis test would miss.
+func TestFabricWorkersShardsDeterministic(t *testing.T) {
+	base := TestOptions()
+	var want []byte
+	for _, workers := range []int{1, 8} {
+		for _, shards := range []int{1, 4} {
+			o := base
+			o.Workers, o.ShardWorkers = workers, shards
+			got := renderExperiment(t, "cxlpool", o)
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("Workers=%d ShardWorkers=%d output differs from Workers=1 ShardWorkers=1:\n%s",
+					workers, shards, diffLines(want, got))
+			}
+		}
+	}
+}
+
+// TestFabricFailoverWorkersDeterministic pins the fabric-failover grid the
+// same way: its four cells (fault kind × mode) each own an engine and a
+// timeline, so worker fan-out must not move a byte. It is the expensive
+// fabric render (a 30s+ simulated observation horizon per cell), hence
+// guarded like the other full renders.
+func TestFabricFailoverWorkersDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full observation horizons; skipped in -short mode")
+	}
+	serial := TestOptions()
+	serial.Workers = 1
+	parallel := serial
+	parallel.Workers = 8
+	a := renderExperiment(t, "fabricfail", serial)
+	b := renderExperiment(t, "fabricfail", parallel)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("Workers=1 vs Workers=8 fabricfail output differs:\n%s", diffLines(a, b))
+	}
+}
+
+// TestCXLPoolSeedChangesOutput proves cxlpool is seed-sensitive: the task
+// mix and access patterns are seeded, so a different seed must move the
+// table — a constant-output experiment cannot pass the determinism gates by
+// accident.
+func TestCXLPoolSeedChangesOutput(t *testing.T) {
+	o := TestOptions()
+	a := renderExperiment(t, "cxlpool", o)
+	o.Seed += 23
+	b := renderExperiment(t, "cxlpool", o)
+	if bytes.Equal(a, b) {
+		t.Fatal("different seeds produced identical cxlpool output; seed is not plumbed through")
+	}
+}
+
+// TestCXLPoolZeroRatioModesIdentical pins the pool=0 anchor row-by-row: at
+// ratio 0 the pooled cell has a zero-slab ledger and the static cell an
+// ungrown partition — identical capacity, identical devices — so the two
+// rendered rows must agree in every measured column. This is the
+// experiment-level view of the metamorphic pool=0 ≡ static law.
+func TestCXLPoolZeroRatioModesIdentical(t *testing.T) {
+	rows := CXLPoolData(TestOptions())
+	var static, pooled *CXLPoolRow
+	for i := range rows {
+		if rows[i].Ratio != 0 {
+			continue
+		}
+		if rows[i].Mode == "static" {
+			static = &rows[i]
+		} else {
+			pooled = &rows[i]
+		}
+	}
+	if static == nil || pooled == nil {
+		t.Fatal("ratio-0 rows missing from cxlpool grid")
+	}
+	if fmt.Sprintf("%+v", static.Result) != fmt.Sprintf("%+v", pooled.Result) {
+		t.Fatalf("ratio-0 static and pooled cells diverge:\nstatic: %+v\npooled: %+v",
+			static.Result, pooled.Result)
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func init() { register("fabricfail", FabricFailover) }
+
+// Fabric-failover experiment: the switch is the blast radius. Every host's
+// far path crosses the one CXL switch, so a switch fault takes down all
+// pooled ports at once — the multi-host analogue of the single-backend
+// faults experiment. Pooled cells arm health monitors and demote to each
+// host's local SSD (paying the switch cost and re-materializing lost far
+// copies); static cells have the same retry discipline but nowhere to go,
+// limping until the flap ends or forever after a crash. Both fault kinds ×
+// both modes form the availability grid; the probe mix and measurement
+// machinery (windowed rate, dip, availability share, time-to-90% MTTR)
+// mirror the faults experiment so the numbers are comparable.
+
+// fabricFailTemplates is the probe mix: per pair of hosts, one thin probe
+// whose far share fits the private partition and one fat probe that must
+// borrow from the pool (pooled mode) or the ratio-grown partition (static
+// mode). Both are sized to outlive the observation horizon.
+func fabricFailTemplates(o Options) (apps []cluster.App, foot int) {
+	thin := faultSpec(o)
+	foot = thin.FootprintPages
+	thin.Name = "fabric-probe"
+	fat := thin
+	fat.Name = "fabric-probe-fat"
+	fat.FootprintPages = 2 * foot
+	return []cluster.App{
+		{Spec: thin, Cores: thin.Threads},
+		{Spec: fat, Cores: fat.Threads},
+	}, foot
+}
+
+// fabricFailCell runs one (kind, pooled) cell: probes reach steady state,
+// the switch faults at faultInjectAt, and the aggregate access rate is
+// observed through the same windows as the faults experiment.
+func fabricFailCell(o Options, kind faults.Kind, pooled bool) FaultRecoveryRow {
+	o = o.normalize()
+	spec := cxlPoolSpec(o)
+	eng := sim.NewEngine()
+	apps, foot := fabricFailTemplates(o)
+	mode := "static"
+	if pooled {
+		mode = "pooled"
+	}
+	cfg := fabric.Config{
+		Eng:  eng,
+		Name: fmt.Sprintf("fabricfail-%s-%s", kind, mode),
+		Spec: spec,
+
+		CoresPerHost:     4,
+		DRAMPagesPerHost: 2 * foot,
+		// A thin probe's far share exactly fills the private partition; a fat
+		// probe's doubles it, spilling to the pool (pooled) or fitting the
+		// ratio-grown partition (static) at the default pool:host ratio 1.
+		FarPagesPerHost: foot / 2,
+		Pooled:          pooled,
+
+		Templates:      apps,
+		Tasks:          spec.Hosts,
+		LocalRatio:     faultLocalRatio,
+		Policy:         o.placementPolicy(),
+		Seed:           o.Seed,
+		RefetchPenalty: baseline.DefaultRefetchPenalty,
+	}
+	cell := fabric.NewCell(cfg)
+
+	inj := faults.NewInjector(eng)
+	inj.Register(cell.Switch())
+	ev := faults.Event{At: faultInjectAt, Target: cell.Switch().Name(), Kind: kind}
+	if kind == faults.Flap {
+		ev.Duration = faultFlapFor
+	}
+	inj.Apply(faults.Schedule{Events: []faults.Event{ev}})
+
+	start := eng.Now()
+	tl := metrics.NewTimeline(eng, faultSampleEvery, func() float64 {
+		return float64(cell.Accesses())
+	})
+	eng.RunUntil(start.Add(faultHorizon))
+	tl.Stop()
+
+	row := measureRecovery(tl.Samples())
+	row.Scenario = kind
+	row.System = mode
+	row.Backend = cell.Switch().Name()
+	row.Switches = cell.Demotions()
+	row.LostPages = cell.Result().LostPages
+	return row
+}
+
+// FabricFailoverData runs the {flap, crash} × {static, pooled} grid. Cells
+// are independent (the fault target is always the cell's own switch), so
+// all four fan out across workers; each owns its engine and output is
+// byte-identical for any -workers/-shards value.
+func FabricFailoverData(o Options) []FaultRecoveryRow {
+	kinds := []faults.Kind{faults.Flap, faults.Crash}
+	return runGrid(o, 2*len(kinds), func(i int) FaultRecoveryRow {
+		return fabricFailCell(o, kinds[i/2], i%2 == 1)
+	})
+}
+
+// FabricFailover renders the fabric-failover availability grid.
+func FabricFailover(o Options) []Table {
+	o = o.normalize()
+	spec := cxlPoolSpec(o)
+	rows := FabricFailoverData(o)
+	t := Table{
+		ID: "fabricfail",
+		Title: fmt.Sprintf("switch failure: availability and recovery, pooled demotion vs static (%d hosts, %d hops)",
+			spec.Hosts, spec.Hops),
+		Columns: []string{"fault", "mode", "pre acc/s", "dip", "avail", "restore", "MTTR",
+			"demotions", "lost pages"},
+	}
+	byKey := map[string]FaultRecoveryRow{}
+	for _, r := range rows {
+		byKey[r.Scenario.String()+"/"+r.System] = r
+		t.AddRow(r.Scenario.String(), r.System,
+			fmt.Sprintf("%.0f", r.PreRate), pct(r.Dip), pct(r.Avail),
+			fmtMTTR(r.TTA), fmtMTTR(r.MTTR), fmt.Sprintf("%d", r.Switches),
+			fmt.Sprintf("%d", r.LostPages))
+	}
+	for _, kind := range []string{"flap", "crash"} {
+		s, p := byKey[kind+"/static"], byKey[kind+"/pooled"]
+		switch {
+		case p.TTA > 0 && s.TTA > 0:
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"%s: pooled service restored (≥%d%%) in %s vs static %s (%.1fx faster)",
+				kind, int(faultAvailFrac*100), fmtMTTR(p.TTA), fmtMTTR(s.TTA),
+				s.TTA.Seconds()/p.TTA.Seconds()))
+		case p.TTA > 0 && s.TTA < 0:
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"%s: pooled service restored (≥%d%%) in %s; static never in the window",
+				kind, int(faultAvailFrac*100), fmtMTTR(p.TTA)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"restore = time back to the availability threshold; a pooled demotion lands on SSD, so MTTR to 90% of the CXL pre-rate can stay ∞ while service is restored",
+		"static cells share the retry discipline but have no demotion path: they wait out a flap and never recover from a crash")
+	for _, r := range rows {
+		t.Notes = append(t.Notes, fmt.Sprintf("%s/%s acc/s %s", r.Scenario, r.System, r.Spark))
+	}
+	return []Table{t}
+}

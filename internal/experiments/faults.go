@@ -54,6 +54,11 @@ type FaultRecoveryRow struct {
 	// to faultRecoverFrac * PreRate; -1 means it never recovered in the
 	// observe window.
 	MTTR sim.Duration
+	// TTA is the time from fault injection until the windowed rate is back
+	// to faultAvailFrac * PreRate — "service restored" for recoveries that
+	// land on a slower medium (a fabric demotion to SSD can be available
+	// without ever reaching faultRecoverFrac). -1 means never in window.
+	TTA sim.Duration
 
 	Switches  int
 	LostPages uint64
@@ -158,7 +163,9 @@ func runFaultScenario(o Options, kind faults.Kind, failover bool, pinned string)
 	eng.RunUntil(start.Add(faultHorizon))
 	tl.Stop()
 
-	row := FaultRecoveryRow{Scenario: kind, Backend: target}
+	row := measureRecovery(tl.Samples())
+	row.Scenario = kind
+	row.Backend = target
 	if failover {
 		row.System = "xdm-failover"
 		row.Switches = len(run.Switches)
@@ -166,8 +173,17 @@ func runFaultScenario(o Options, kind faults.Kind, failover bool, pinned string)
 		row.System = "static"
 	}
 	row.LostPages = tk.Stats().LostPages
+	return row
+}
 
-	deltas := metrics.Delta(tl.Samples())
+// measureRecovery turns a cumulative access-count timeline (sampled every
+// faultSampleEvery from task start) into the recovery measurements:
+// steady-state PreRate, windowed Dip, availability share, and time-to-90%
+// MTTR, plus the sparkline. Shared by the single-backend faults experiment
+// and the fabric-failover grid so their numbers are directly comparable.
+func measureRecovery(samples []float64) FaultRecoveryRow {
+	var row FaultRecoveryRow
+	deltas := metrics.Delta(samples)
 	interval := faultSampleEvery.Seconds()
 	// timeOf(i) is the sample instant: the first sample fires one interval
 	// after task start.
@@ -197,13 +213,14 @@ func runFaultScenario(o Options, kind faults.Kind, failover bool, pinned string)
 		row.PreRate = preSum / float64(preN)
 	}
 	if row.PreRate <= 0 {
-		row.Dip, row.MTTR = 1, -1
+		row.Dip, row.MTTR, row.TTA = 1, -1, -1
 		row.Spark = metrics.Sparkline(deltas, 40)
 		return row
 	}
 
 	row.Dip = 1.0
 	row.MTTR = -1
+	row.TTA = -1
 	dipped := false
 	availN, obsN := 0, 0
 	for i := range deltas {
@@ -222,9 +239,13 @@ func runFaultScenario(o Options, kind faults.Kind, failover bool, pinned string)
 			dipped = true
 		}
 		// Recovery: first return to faultRecoverFrac after the rate has
-		// actually dipped below it.
+		// actually dipped below it; TTA is the same clock against the
+		// availability threshold.
 		if dipped && row.Dip < faultRecoverFrac && row.MTTR < 0 && frac >= faultRecoverFrac {
 			row.MTTR = at - faultInjectAt
+		}
+		if dipped && row.Dip < faultAvailFrac && row.TTA < 0 && frac >= faultAvailFrac {
+			row.TTA = at - faultInjectAt
 		}
 	}
 	if obsN > 0 {

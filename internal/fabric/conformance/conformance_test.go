@@ -1,0 +1,43 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// Every pool shape the cell constructor can produce inherits the ledger
+// contract: small and large slab counts, single- and many-host, and the
+// one-slab edge where every batch contends for the same slab.
+func TestPoolConformance(t *testing.T) {
+	shapes := []struct {
+		name             string
+		hosts, slabs, pp int
+	}{
+		{"small", 4, 16, 256},
+		{"single-host", 1, 8, 64},
+		{"many-hosts", 16, 64, 2048},
+		{"one-slab", 4, 1, 512},
+	}
+	for _, s := range shapes {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			Run(t, func() *fabric.Pool {
+				return fabric.NewPool(sim.NewEngine(), s.name, s.hosts, s.slabs, s.pp)
+			})
+		})
+	}
+}
+
+// A zero-slab pool (pooling off) must satisfy the contract vacuously: every
+// grant returns 0 and the audit stays clean.
+func TestZeroSlabPool(t *testing.T) {
+	p := fabric.NewPool(sim.NewEngine(), "off", 4, 0, 256)
+	if got := p.Grant(0, 5); got != 0 {
+		t.Fatalf("zero-slab pool granted %d", got)
+	}
+	if err := p.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

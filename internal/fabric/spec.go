@@ -1,0 +1,159 @@
+// Package fabric models the next fabric generation past the per-host device
+// zoo: a CXL 2.0/3.0 switch with multi-host pooled memory. A Pool is a
+// DCD-style slab ledger (dynamic capacity grant/reclaim across host ports),
+// a Switch is the shared data path (per-hop latency, per-link bandwidth
+// arbitration layered on the pcie fluid-flow arbiter), Coherence charges
+// back-invalidation for shared-region writer changes, and a Cell composes N
+// hosts around one switch so pool-stranding and fabric-failover scenarios
+// can run against the same placement pipeline the rest of the simulator
+// uses. Structure is grounded in CXL-DMSim's switched-path latency model and
+// MIND's in-network allocation (PAPERS.md); see DESIGN.md §11.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The -fabric topology grammar. A spec is a comma-separated field list:
+//
+//	FABRIC := FIELD ( "," FIELD )*
+//	FIELD  := "hosts=" N      host ports on the switch, in [1, 64] (required)
+//	        | "pool=" R       pool:host far-capacity ratio, in [0, 16]
+//	        | "slab=" P       DCD grant granularity in pages, in [16, 1048576]
+//	        | "hops=" H       switch hops on the pooled path, in [0, 8]
+//	        | "placer=" WHERE "fabric" (in-switch allocator) or "host"
+//
+// Defaults: pool=1, slab=2048, hops=1, placer=fabric. Examples:
+// "hosts=4", "hosts=8,pool=2,hops=2", "hosts=2,pool=0.5,placer=host".
+//
+// ParseSpec validates strictly (unknown or duplicate fields, malformed or
+// out-of-range numbers are errors) and the CLIs turn any error into a usage
+// failure (exit 2). String renders every field in canonical order and
+// re-parses to an identical spec (FuzzFabricTopology locks the fixpoint).
+
+// Spec limits and defaults.
+const (
+	MaxHosts = 64
+	MaxPool  = 16.0
+	MinSlab  = 16
+	MaxSlab  = 1 << 20
+	MaxHops  = 8
+
+	DefaultPool = 1.0
+	DefaultSlab = 2048
+	DefaultHops = 1
+)
+
+// Placer names where the pool-allocation decision lives.
+const (
+	PlacerFabric = "fabric" // MIND-style in-switch allocator (extender)
+	PlacerHost   = "host"   // host-side policy only; pool grants follow it
+)
+
+// Spec is a parsed -fabric topology.
+type Spec struct {
+	// Hosts is the number of host ports sharing the switch.
+	Hosts int
+	// Pool is the pooled (DCD) far capacity as a ratio of the summed
+	// per-host private far capacity: 0 disables pooling entirely.
+	Pool float64
+	// Slab is the DCD grant granularity in pages.
+	Slab int
+	// Hops is the number of switch hops between a host port and the pooled
+	// memory device (0 = direct-attached, the single-host CXL shape).
+	Hops int
+	// Placer selects who decides where pooled capacity goes: the in-fabric
+	// allocator (PlacerFabric) or the host-side placement policy (PlacerHost).
+	Placer string
+}
+
+// DefaultSpec is the topology the experiments use when no -fabric flag is
+// given: four hosts around one switch, pool sized 1:1 with private capacity.
+func DefaultSpec() Spec {
+	return Spec{Hosts: 4, Pool: DefaultPool, Slab: DefaultSlab, Hops: DefaultHops, Placer: PlacerFabric}
+}
+
+// ParseSpec compiles a -fabric topology spec.
+func ParseSpec(spec string) (Spec, error) {
+	if spec == "" {
+		return Spec{}, fmt.Errorf("fabric spec is empty")
+	}
+	s := Spec{Hosts: -1, Pool: DefaultPool, Slab: DefaultSlab, Hops: DefaultHops, Placer: PlacerFabric}
+	seen := map[string]bool{}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("fabric spec %q: field %q is not key=value", spec, field)
+		}
+		if seen[key] {
+			return Spec{}, fmt.Errorf("fabric spec %q: duplicate field %q", spec, key)
+		}
+		seen[key] = true
+		switch key {
+		case "hosts":
+			n, err := parseInt(spec, key, val, 1, MaxHosts)
+			if err != nil {
+				return Spec{}, err
+			}
+			s.Hosts = n
+		case "pool":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(r) || math.IsInf(r, 0) {
+				return Spec{}, fmt.Errorf("fabric spec %q: pool ratio %q is not a number", spec, val)
+			}
+			if r < 0 || r > MaxPool {
+				return Spec{}, fmt.Errorf("fabric spec %q: pool ratio must be in [0, %g] (got %g)", spec, MaxPool, r)
+			}
+			s.Pool = r
+		case "slab":
+			n, err := parseInt(spec, key, val, MinSlab, MaxSlab)
+			if err != nil {
+				return Spec{}, err
+			}
+			s.Slab = n
+		case "hops":
+			n, err := parseInt(spec, key, val, 0, MaxHops)
+			if err != nil {
+				return Spec{}, err
+			}
+			s.Hops = n
+		case "placer":
+			if val != PlacerFabric && val != PlacerHost {
+				return Spec{}, fmt.Errorf("fabric spec %q: placer must be %s|%s (got %q)", spec, PlacerFabric, PlacerHost, val)
+			}
+			s.Placer = val
+		default:
+			return Spec{}, fmt.Errorf("fabric spec %q: unknown field %q (want hosts|pool|slab|hops|placer)", spec, key)
+		}
+	}
+	if s.Hosts < 0 {
+		return Spec{}, fmt.Errorf("fabric spec %q: hosts is required", spec)
+	}
+	return s, nil
+}
+
+func parseInt(spec, key, val string, lo, hi int) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("fabric spec %q: %s %q is not an integer", spec, key, val)
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("fabric spec %q: %s must be in [%d, %d] (got %d)", spec, key, lo, hi, n)
+	}
+	return n, nil
+}
+
+// String renders the canonical spec: every field, fixed order. ParseSpec of
+// the result yields an identical Spec.
+func (s Spec) String() string {
+	return fmt.Sprintf("hosts=%d,pool=%g,slab=%d,hops=%d,placer=%s",
+		s.Hosts, s.Pool, s.Slab, s.Hops, s.Placer)
+}
+
+// Usage is the one-line grammar summary the CLIs print on a malformed spec.
+func Usage() string {
+	return "hosts=N[,pool=R][,slab=P][,hops=H][,placer=fabric|host]"
+}

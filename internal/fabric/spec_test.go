@@ -1,0 +1,126 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"hosts=4", Spec{Hosts: 4, Pool: 1, Slab: 2048, Hops: 1, Placer: PlacerFabric}},
+		{"hosts=1,pool=0", Spec{Hosts: 1, Pool: 0, Slab: 2048, Hops: 1, Placer: PlacerFabric}},
+		{"hosts=8,pool=2,hops=2", Spec{Hosts: 8, Pool: 2, Slab: 2048, Hops: 2, Placer: PlacerFabric}},
+		{"hosts=2,pool=0.5,placer=host", Spec{Hosts: 2, Pool: 0.5, Slab: 2048, Hops: 1, Placer: PlacerHost}},
+		{"slab=16,hosts=64,hops=0", Spec{Hosts: 64, Pool: 1, Slab: 16, Hops: 0, Placer: PlacerFabric}},
+		{"hosts=3,pool=16,slab=1048576,hops=8", Spec{Hosts: 3, Pool: 16, Slab: 1 << 20, Hops: 8, Placer: PlacerFabric}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		in, wantErr string
+	}{
+		{"", "empty"},
+		{"pool=1", "hosts is required"},
+		{"hosts", "not key=value"},
+		{"hosts=0", "must be in [1, 64]"},
+		{"hosts=65", "must be in [1, 64]"},
+		{"hosts=four", "not an integer"},
+		{"hosts=4,hosts=8", "duplicate field"},
+		{"hosts=4,pool=-1", "pool ratio must be in"},
+		{"hosts=4,pool=17", "pool ratio must be in"},
+		{"hosts=4,pool=NaN", "pool ratio"},
+		{"hosts=4,pool=x", "not a number"},
+		{"hosts=4,slab=8", "must be in [16, 1048576]"},
+		{"hosts=4,slab=2097152", "must be in [16, 1048576]"},
+		{"hosts=4,hops=9", "must be in [0, 8]"},
+		{"hosts=4,hops=-1", "must be in [0, 8]"},
+		{"hosts=4,placer=switch", "placer must be"},
+		{"hosts=4,rack=2", "unknown field"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q): no error, want %q", c.in, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("ParseSpec(%q) error %q, want substring %q", c.in, err, c.wantErr)
+		}
+	}
+}
+
+func TestSpecStringFixpoint(t *testing.T) {
+	for _, in := range []string{"hosts=4", "hosts=8,pool=0.25,slab=64,hops=3,placer=host", "hosts=1,pool=0"} {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		canon := s.String()
+		s2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical %q does not re-parse: %v", canon, err)
+		}
+		if s2 != s || s2.String() != canon {
+			t.Fatalf("canonical form is not a fixpoint: %q -> %q -> %q", in, canon, s2.String())
+		}
+	}
+}
+
+func TestDefaultSpecIsCanonical(t *testing.T) {
+	d := DefaultSpec()
+	s, err := ParseSpec(d.String())
+	if err != nil || s != d {
+		t.Fatalf("DefaultSpec round trip: %+v -> %q -> (%+v, %v)", d, d.String(), s, err)
+	}
+	if !strings.Contains(Usage(), "hosts=N") {
+		t.Fatalf("usage %q lost the grammar", Usage())
+	}
+}
+
+// FuzzFabricTopology locks the parser: no input panics, and every accepted
+// spec canonicalizes to a fixpoint (parse → String → parse is identity).
+func FuzzFabricTopology(f *testing.F) {
+	for _, s := range []string{
+		"hosts=4", "hosts=8,pool=2,hops=2", "hosts=2,pool=0.5,placer=host",
+		"hosts=64,slab=16", "hosts=1,pool=0,hops=0", "hosts=3,pool=16,slab=1048576,hops=8",
+		"", "nope", "hosts", "hosts=0", "hosts=4,pool=NaN", "hosts=4,hosts=4",
+		"hosts=4,placer=switch", "hosts=4,rack=2", "hosts=4,pool=1e-3",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		s2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("accepted spec %q canonicalizes to %q, which does not re-parse: %v", spec, canon, err)
+		}
+		if s2 != s {
+			t.Fatalf("canonical re-parse drifted: %q -> %+v vs %+v", spec, s2, s)
+		}
+		if s2.String() != canon {
+			t.Fatalf("canonical form is not a fixpoint: %q -> %q -> %q", spec, canon, s2.String())
+		}
+		if s.Hosts < 1 || s.Hosts > MaxHosts || s.Pool < 0 || s.Pool > MaxPool ||
+			s.Slab < MinSlab || s.Slab > MaxSlab || s.Hops < 0 || s.Hops > MaxHops {
+			t.Fatalf("accepted spec %q violates the documented ranges: %+v", spec, s)
+		}
+	})
+}

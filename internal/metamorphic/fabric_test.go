@@ -1,0 +1,151 @@
+package metamorphic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/device"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Metamorphic laws for the CXL pooled-memory fabric. Each law relates two
+// cell runs whose configurations differ in one controlled way; the model's
+// physics fixes the direction of the change, whatever the sampled workload.
+
+// fabricCellSpec draws a small randomized probe mix for a fabric cell: a
+// thin template that fits private far capacity and a fat one that needs the
+// pool.
+func fabricCellApps(r *rand.Rand) []cluster.App {
+	probe := func(name string, pages int) cluster.App {
+		return cluster.App{Spec: workload.Spec{
+			Name:             name,
+			Class:            workload.Compute,
+			FootprintPages:   pages,
+			AnonFraction:     1,
+			Coverage:         1,
+			SegmentLen:       32 + r.Intn(64),
+			SeqShare:         r.Float64(),
+			RunLen:           1 + r.Intn(8),
+			HotShare:         1,
+			HotProb:          0,
+			WriteFraction:    r.Float64() * 0.5,
+			ComputePerAccess: sim.Duration(1+r.Intn(4)) * sim.Microsecond,
+			MainAccesses:     1024 + r.Intn(2048),
+			Threads:          1,
+			SwapFeature:      'F',
+		}, Cores: 1}
+	}
+	base := 128 + 64*r.Intn(3)
+	return []cluster.App{probe("thin", base), probe("fat", 4*base)}
+}
+
+// fabricCell runs one cell with the given pool ratio, hop count, and mode,
+// returning its result.
+func fabricCell(ratio float64, hops int, pooled bool, apps []cluster.App, seed int64) fabric.Result {
+	spec := fabric.DefaultSpec()
+	spec.Hosts = 2
+	spec.Slab = 64
+	spec.Pool = ratio
+	spec.Hops = hops
+	maxFoot := 0
+	for _, a := range apps {
+		if a.Spec.FootprintPages > maxFoot {
+			maxFoot = a.Spec.FootprintPages
+		}
+	}
+	cfg := fabric.Config{
+		Eng:              sim.NewEngine(),
+		Name:             "meta",
+		Spec:             spec,
+		CoresPerHost:     2,
+		DRAMPagesPerHost: 2 * maxFoot,
+		FarPagesPerHost:  maxFoot / 4,
+		Pooled:           pooled,
+		Templates:        apps,
+		Tasks:            6,
+		LocalRatio:       0.5,
+		Seed:             seed,
+	}
+	return fabric.NewCell(cfg).Run()
+}
+
+// Law: growing the pool ratio never increases the stranded fraction or the
+// refusal count. More grantable capacity can only widen where far demand
+// can land; a ledger or extender bug that fragments grants would break the
+// monotonicity.
+func TestPoolGrowthNeverIncreasesStranding(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5; trial++ {
+		apps := fabricCellApps(r)
+		seed := int64(100 + trial)
+		prev := fabricCell(0, 1, true, apps, seed)
+		for _, ratio := range []float64{0.5, 1, 2, 4} {
+			cur := fabricCell(ratio, 1, true, apps, seed)
+			if cur.StrandedFrac > prev.StrandedFrac+1e-12 {
+				t.Fatalf("trial %d: pool ratio %g stranded %.3f > smaller pool's %.3f",
+					trial, ratio, cur.StrandedFrac, prev.StrandedFrac)
+			}
+			if cur.Refused > prev.Refused {
+				t.Fatalf("trial %d: pool ratio %g refused %d > smaller pool's %d",
+					trial, ratio, cur.Refused, prev.Refused)
+			}
+			prev = cur
+		}
+	}
+}
+
+// Law: adding a switch hop never decreases end-to-end completion time. Each
+// hop adds per-hop latency to every pooled transfer (and another shared
+// crossbar segment), so the makespan of an identical cell is monotone in
+// the hop count.
+func TestExtraHopNeverSpeedsUpCell(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 5; trial++ {
+		apps := fabricCellApps(r)
+		seed := int64(200 + trial)
+		prev := fabricCell(1, 0, true, apps, seed)
+		for hops := 1; hops <= 3; hops++ {
+			cur := fabricCell(1, hops, true, apps, seed)
+			if cur.Completed != prev.Completed {
+				t.Fatalf("trial %d: hop count changed completions (%d vs %d)", trial, cur.Completed, prev.Completed)
+			}
+			if cur.Makespan < prev.Makespan {
+				t.Fatalf("trial %d: %d hops finished in %v, faster than %d hops' %v",
+					trial, hops, cur.Makespan, hops-1, prev.Makespan)
+			}
+			prev = cur
+		}
+	}
+}
+
+// Law: at pool ratio 0 a pooled cell and a static cell are the same system
+// — a zero-slab ledger grants nothing, the in-fabric extender never
+// overrides a private fit, and record-only health monitors don't perturb
+// the event stream — so every measured field must match exactly.
+func TestPoolRatioZeroEquivalentToStatic(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 5; trial++ {
+		apps := fabricCellApps(r)
+		seed := int64(300 + trial)
+		pooled := fabricCell(0, 1, true, apps, seed)
+		static := fabricCell(0, 1, false, apps, seed)
+		if pooled != static {
+			t.Fatalf("trial %d: ratio-0 pooled and static cells diverge:\npooled %+v\nstatic %+v",
+				trial, pooled, static)
+		}
+	}
+}
+
+// Law: the pooled port's hop-0 latency envelope degenerates to the
+// single-host CXL device — the fabric's "off" anchor at the device level.
+func TestPooledSpecHopZeroMatchesCXLLatency(t *testing.T) {
+	pooled := device.SpecPooledCXL("p", 0)
+	cxl := device.SpecCXL("c")
+	if pooled.ReadLatency != cxl.ReadLatency || pooled.WriteLatency != cxl.WriteLatency {
+		t.Fatalf("hop-0 pooled latency (%v/%v) != single-host CXL (%v/%v)",
+			pooled.ReadLatency, pooled.WriteLatency, cxl.ReadLatency, cxl.WriteLatency)
+	}
+}

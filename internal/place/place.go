@@ -44,6 +44,13 @@ type Candidate struct {
 	TotalCores int
 	TotalPages int
 
+	// FarFree is the target's free private far-memory capacity in pages;
+	// PoolFree is the free capacity of a shared fabric pool the target can
+	// draw on (internal/fabric). Frontends without far-memory ledgers leave
+	// both zero, which keeps the far-capacity predicate vacuously true.
+	FarFree  int
+	PoolFree int
+
 	// Load counts tasks currently running on the target (pressure input).
 	Load int
 	// Tier is the frontend-assigned preference class; 0 marks a target that
@@ -62,6 +69,9 @@ type Candidate struct {
 type Request struct {
 	Cores int
 	Pages int
+	// FarPages is the far-memory residency the work needs on top of its
+	// resident pages (0 for frontends without far-memory ledgers).
+	FarPages int
 }
 
 // Predicate is a hard feasibility filter: a candidate failing any predicate
@@ -213,6 +223,21 @@ func OvercommitSlack(factor float64, totalPages int) int {
 	return int(math.Floor((factor - 1) * float64(totalPages)))
 }
 
+// FarCapacityPredicate admits a request whose far-memory residency fits in
+// the candidate's private far capacity or the shared pool it can reach.
+// It is not part of the standard chain — frontends without far-memory
+// ledgers (FarPages always 0) would evaluate it vacuously on every hot
+// placement decision — so far-aware frontends (internal/fabric) append it
+// to their policy's Predicates themselves.
+func FarCapacityPredicate() Predicate {
+	return Predicate{Name: "far-capacity", Fit: func(r Request, c Candidate) bool {
+		if r.FarPages <= 0 {
+			return true
+		}
+		return r.FarPages <= c.FarFree || r.FarPages <= c.PoolFree
+	}}
+}
+
 // standardPredicates is the filter chain every built-in policy runs:
 // health, frontend acceptance, backend/state compatibility, cores, memory.
 func standardPredicates(overcommit float64) []Predicate {
@@ -242,6 +267,16 @@ var prioritizerFuncs = map[string]func(Request, Candidate) float64{
 		}
 		return -float64(c.FreePages - r.Pages)
 	},
+	// pool-headroom penalizes a placement by the pooled-fabric pages it
+	// would have to borrow: requests land where private far capacity covers
+	// them, keeping the shared pool free for hosts that really need it.
+	"pool-headroom": func(r Request, c Candidate) float64 {
+		spill := r.FarPages - c.FarFree
+		if spill < 0 {
+			spill = 0
+		}
+		return -float64(spill)
+	},
 	// warm prefers targets already running work (cache/module warmth).
 	"warm": func(_ Request, c Candidate) float64 {
 		if c.Load > 0 {
@@ -253,7 +288,7 @@ var prioritizerFuncs = map[string]func(Request, Candidate) float64{
 
 // PrioritizerNames lists the registered prioritizer names in sorted order.
 func PrioritizerNames() []string {
-	return []string{"best-fit", "least-stranding", "load", "tier", "warm", "worst-fit"}
+	return []string{"best-fit", "least-stranding", "load", "pool-headroom", "tier", "warm", "worst-fit"}
 }
 
 func prioritizer(name string, weight float64) Prioritizer {

@@ -17,7 +17,7 @@ import (
 //	        | "mix:" PRIO "=" W ( "," PRIO "=" W )* weights in (0, 1e6]
 //	EXT    := "one-shot" | "warm-pool"
 //	PRIO   := "best-fit" | "worst-fit" | "tier" | "load"
-//	        | "least-stranding" | "warm"
+//	        | "least-stranding" | "pool-headroom" | "warm"
 //
 // Examples: "alg1", "oversub:1.5", "best-fit+warm-pool",
 // "mix:worst-fit=1,load=2+one-shot".

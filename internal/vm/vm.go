@@ -51,7 +51,7 @@ func startupCost(k device.Kind) sim.Duration {
 		return sim.Duration(4.2 * float64(sim.Second))
 	case device.RDMA, device.DPU:
 		return sim.Duration(1.8 * float64(sim.Second))
-	case device.CXL:
+	case device.CXL, device.PooledCXL:
 		return sim.Duration(1.0 * float64(sim.Second))
 	default: // SSD / HDD swap files on prepared partitions
 		return sim.Duration(1.2 * float64(sim.Second))
@@ -123,6 +123,21 @@ func (m *Machine) AttachDevice(spec device.Spec) *device.Device {
 	m.devices[spec.Name] = d
 	m.backends[spec.Name] = swap.NewDeviceBackend(m.Eng, d)
 	return d
+}
+
+// AdoptBackend registers an externally constructed device — one living on a
+// shared fabric the machine does not own, such as a switch-attached pooled
+// CXL port (internal/fabric) — as a swappable backend. The machine gains
+// the backend without re-homing the device's links.
+func (m *Machine) AdoptBackend(d *device.Device) *swap.DeviceBackend {
+	name := d.Name()
+	if _, dup := m.devices[name]; dup {
+		panic(fmt.Sprintf("vm: duplicate device %q", name))
+	}
+	m.devices[name] = d
+	b := swap.NewDeviceBackend(m.Eng, d)
+	m.backends[name] = b
+	return b
 }
 
 // Device returns an attached device by name.
